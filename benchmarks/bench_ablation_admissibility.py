@@ -1,0 +1,90 @@
+"""Ablation: strong vs weak admissibility rank growth.
+
+The paper's related-work section argues that weak-admissibility formats
+(HSS/HODLR) have O(N) cost only in 1D: in 2D their off-diagonal blocks
+(which include *adjacent* geometry) have ranks growing like O(sqrt(N)),
+while the strongly admissible blocks RS-S compresses stay O(1). This
+bench measures both ranks directly on the Laplace kernel:
+
+* weak: the block between the left and right halves of the domain
+  (touching along a full edge), restricted to a fixed tolerance;
+* strong: the block between a box and its far field (distance >= 2).
+"""
+
+import numpy as np
+import pytest
+
+from common import SCALE, save_table
+from repro.geometry import uniform_grid
+from repro.kernels import LaplaceKernelMatrix
+from repro.linalg import interp_decomp
+from repro.reporting import Table
+
+M_SWEEP = {0: [8, 16, 32], 1: [16, 32, 64], 2: [32, 64, 96]}[SCALE]
+TOL = 1e-6
+
+
+def weak_rank(m: int) -> int:
+    """Rank of the interface block between domain halves (HODLR-style)."""
+    pts = uniform_grid(m)
+    k = LaplaceKernelMatrix(pts, 1.0 / m)
+    left = np.flatnonzero(pts[:, 0] < 0.5)
+    right = np.flatnonzero(pts[:, 0] >= 0.5)
+    block = k.block(left, right)
+    return interp_decomp(block, TOL).rank
+
+
+def strong_rank(m: int) -> int:
+    """Rank of a box vs its distance->=2 far field (RS-S compression)."""
+    pts = uniform_grid(m)
+    k = LaplaceKernelMatrix(pts, 1.0 / m)
+    # box = central quarter-cell of side 1/4
+    inside = np.flatnonzero(
+        (np.abs(pts[:, 0] - 0.5) < 0.125) & (np.abs(pts[:, 1] - 0.5) < 0.125)
+    )
+    far = np.flatnonzero(
+        np.maximum(np.abs(pts[:, 0] - 0.5), np.abs(pts[:, 1] - 0.5)) > 0.375
+    )
+    block = k.block(far, inside)
+    return interp_decomp(block, TOL).rank
+
+
+@pytest.fixture(scope="module")
+def ranks():
+    table = Table(
+        f"Ablation: weak vs strong admissibility ranks (Laplace, tol={TOL:g})",
+        ["N", "weak rank (halves)", "strong rank (far field)", "weak / sqrt(N)"],
+    )
+    raw = []
+    for m in M_SWEEP:
+        w = weak_rank(m)
+        s = strong_rank(m)
+        table.add_row(f"{m}^2", w, s, f"{w / m:.2f}")
+        raw.append((m, w, s))
+    save_table("ablation_admissibility", table.render())
+    return raw
+
+
+def test_admissibility_generated(ranks, benchmark):
+    benchmark.pedantic(lambda: weak_rank(M_SWEEP[0]), rounds=1, iterations=1)
+    assert len(ranks) == len(M_SWEEP)
+
+
+def test_weak_ranks_grow(ranks):
+    """Weak-admissibility rank grows with N (superlinear total cost)."""
+    weak = [w for _m, w, _s in ranks]
+    assert weak[-1] > 1.5 * weak[0]
+
+
+def test_strong_ranks_saturate(ranks):
+    """Strong-admissibility rank is essentially N-independent (O(1))."""
+    strong = [s for _m, _w, s in ranks]
+    assert max(strong) <= min(strong) + 10
+    assert max(strong) < 2.5 * min(strong)
+
+
+def test_weak_scales_like_sqrt_n(ranks):
+    """weak rank / sqrt(N) stays bounded — the 1D-interface signature."""
+    ratios = [w / m for m, w, _s in ranks]
+    assert max(ratios) < 4.0
+    assert max(ratios) / min(ratios) < 3.0

@@ -1,0 +1,82 @@
+"""Ablation: leaf size and ID method.
+
+Design choices called out in DESIGN.md: the leaf occupancy (paper:
+O(r) points per leaf) and the deterministic-CPQR vs randomized-sketch
+interpolative decomposition (Sec. II-B).
+"""
+
+import time
+
+import pytest
+
+from common import SCALE, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.reporting import Table, format_sci, format_seconds
+
+M = {0: 32, 1: 64, 2: 128}[SCALE]
+LEAF_SIZES = [16, 32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    prob = LaplaceVolumeProblem(M)
+    b = prob.random_rhs()
+    t1 = Table(
+        f"Ablation: leaf size (N={M}^2, eps=1e-6)",
+        ["leaf_size", "levels", "t_fact", "relres", "memory MB"],
+    )
+    raw_leaf = []
+    for leaf in LEAF_SIZES:
+        opts = SRSOptions(tol=1e-6, leaf_size=leaf)
+        t0 = time.perf_counter()
+        fact = prob.factor(opts)
+        tf = time.perf_counter() - t0
+        rr = prob.relres(fact.solve(b), b)
+        t1.add_row(
+            leaf,
+            len(fact.stats.levels()),
+            format_seconds(tf),
+            format_sci(rr),
+            f"{fact.memory_bytes() / 1e6:.1f}",
+        )
+        raw_leaf.append((leaf, tf, rr))
+
+    t2 = Table(
+        f"Ablation: ID method (N={M}^2, eps=1e-6, leaf 64)",
+        ["method", "t_fact", "relres", "nit"],
+    )
+    raw_id = []
+    for method in ("cpqr", "randomized"):
+        opts = SRSOptions(tol=1e-6, leaf_size=64, id_method=method)
+        t0 = time.perf_counter()
+        fact = prob.factor(opts)
+        tf = time.perf_counter() - t0
+        rr = prob.relres(fact.solve(b), b)
+        nit = prob.pcg(fact, b).iterations
+        t2.add_row(method, format_seconds(tf), format_sci(rr), nit)
+        raw_id.append((method, tf, rr, nit))
+    save_table("ablation_algorithm", t1.render() + "\n\n" + t2.render())
+    return raw_leaf, raw_id
+
+
+def test_ablation_generated(sweep, benchmark):
+    prob = LaplaceVolumeProblem(M)
+    benchmark.pedantic(
+        lambda: prob.factor(SRSOptions(tol=1e-6, leaf_size=64)), rounds=1, iterations=1
+    )
+    raw_leaf, raw_id = sweep
+    assert len(raw_leaf) == len(LEAF_SIZES) and len(raw_id) == 2
+
+
+def test_accuracy_insensitive_to_leaf_size(sweep):
+    raw_leaf, _ = sweep
+    rrs = [rr for _l, _t, rr in raw_leaf]
+    assert max(rrs) < 100 * min(rrs)
+
+
+def test_randomized_id_usable(sweep):
+    """The randomized ID keeps nit small (a couple extra at most)."""
+    _, raw_id = sweep
+    by = {m: nit for m, _t, _rr, nit in raw_id}
+    assert by["randomized"] <= by["cpqr"] + 5

@@ -1,0 +1,71 @@
+"""Ablation: RS-S preconditioner vs block-Jacobi vs none.
+
+Quantifies what compressing the far field buys (Sec. I-A): the RS-S
+preconditioned CG count is constant in N, block-Jacobi (drop the far
+field instead of compressing it) grows, and unpreconditioned CG grows
+like sqrt(condition) ~ sqrt(N).
+"""
+
+import time
+
+import pytest
+
+from common import SCALE, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.baselines import BlockJacobiPreconditioner
+from repro.core import SRSOptions
+from repro.iterative import cg
+from repro.reporting import Table, format_seconds
+
+M_SWEEP = {0: [16, 32, 64], 1: [32, 64, 128], 2: [64, 128, 256]}[SCALE]
+TOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    table = Table(
+        "Ablation: preconditioner quality (Laplace, PCG to 1e-10)",
+        ["N", "RS-S nit", "RS-S setup", "block-Jacobi nit", "BJ setup", "plain CG nit"],
+    )
+    raw = []
+    for m in M_SWEEP:
+        prob = LaplaceVolumeProblem(m)
+        b = prob.random_rhs()
+        t0 = time.perf_counter()
+        fact = prob.factor(SRSOptions(tol=1e-6, leaf_size=64))
+        t_srs = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        jac = BlockJacobiPreconditioner(prob.kernel, leaf_size=64)
+        t_jac = time.perf_counter() - t0
+        n_srs = cg(prob.matvec, b, preconditioner=fact.solve, tol=TOL, maxiter=20000).iterations
+        n_jac = cg(prob.matvec, b, preconditioner=jac.solve, tol=TOL, maxiter=20000).iterations
+        n_plain = cg(prob.matvec, b, tol=TOL, maxiter=50000).iterations
+        table.add_row(
+            f"{m}^2", n_srs, format_seconds(t_srs), n_jac, format_seconds(t_jac), n_plain
+        )
+        raw.append((m, n_srs, n_jac, n_plain))
+    save_table("ablation_preconditioners", table.render())
+    return raw
+
+
+def test_preconditioner_ablation_generated(sweep, benchmark):
+    prob = LaplaceVolumeProblem(M_SWEEP[0])
+    benchmark.pedantic(
+        lambda: BlockJacobiPreconditioner(prob.kernel, leaf_size=64), rounds=1, iterations=1
+    )
+    assert len(sweep) == len(M_SWEEP)
+
+
+def test_srs_nit_constant(sweep):
+    nits = [s for _m, s, _j, _p in sweep]
+    assert max(nits) - min(nits) <= 3
+
+
+def test_jacobi_nit_grows(sweep):
+    nits = [j for _m, _s, j, _p in sweep]
+    assert nits[-1] > nits[0]
+
+
+def test_ordering_srs_jacobi_plain(sweep):
+    for _m, s, j, p in sweep:
+        assert s < j < p

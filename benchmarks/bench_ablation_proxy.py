@@ -1,0 +1,82 @@
+"""Ablation: proxy-circle geometry (radius factor and point count).
+
+DESIGN.md calls out the proxy surrogate as the key approximation
+(Sec. II-C; the paper fixes radius 2.5L). This bench sweeps the radius
+factor and the number of proxy points and reports accuracy and rank —
+validating that the paper's choice sits on the flat part of the curve.
+"""
+
+import time
+
+import pytest
+
+from common import SCALE, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.reporting import Table, format_sci, format_seconds
+
+M = {0: 32, 1: 64, 2: 128}[SCALE]
+RADII = [1.8, 2.0, 2.5, 3.0]
+NPROXY = [16, 32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    prob = LaplaceVolumeProblem(M)
+    b = prob.random_rhs()
+    t1 = Table(
+        f"Ablation: proxy radius factor (N={M}^2, eps=1e-6, n_proxy=64)",
+        ["radius/L", "t_fact", "relres", "avg leaf rank"],
+    )
+    raw_r = []
+    for r in RADII:
+        opts = SRSOptions(tol=1e-6, leaf_size=64, proxy_radius_factor=r)
+        t0 = time.perf_counter()
+        fact = prob.factor(opts)
+        tf = time.perf_counter() - t0
+        rr = prob.relres(fact.solve(b), b)
+        leaf = max(fact.stats.levels())
+        t1.add_row(r, format_seconds(tf), format_sci(rr), f"{fact.stats.average_rank(leaf):.1f}")
+        raw_r.append((r, rr))
+
+    t2 = Table(
+        f"Ablation: proxy point count (N={M}^2, eps=1e-6, radius=2.5L)",
+        ["n_proxy", "t_fact", "relres", "avg leaf rank"],
+    )
+    raw_n = []
+    for n in NPROXY:
+        opts = SRSOptions(tol=1e-6, leaf_size=64, n_proxy=n)
+        t0 = time.perf_counter()
+        fact = prob.factor(opts)
+        tf = time.perf_counter() - t0
+        rr = prob.relres(fact.solve(b), b)
+        leaf = max(fact.stats.levels())
+        t2.add_row(n, format_seconds(tf), format_sci(rr), f"{fact.stats.average_rank(leaf):.1f}")
+        raw_n.append((n, rr))
+    save_table("ablation_proxy", t1.render() + "\n\n" + t2.render())
+    return raw_r, raw_n
+
+
+def test_ablation_generated(sweep, benchmark):
+    prob = LaplaceVolumeProblem(M)
+    benchmark.pedantic(
+        lambda: prob.factor(SRSOptions(tol=1e-6, leaf_size=64)), rounds=1, iterations=1
+    )
+    raw_r, raw_n = sweep
+    assert len(raw_r) == len(RADII) and len(raw_n) == len(NPROXY)
+
+
+def test_papers_radius_choice_is_accurate(sweep):
+    """radius 2.5L achieves accuracy within ~an order of the best radius."""
+    raw_r, _ = sweep
+    best = min(rr for _r, rr in raw_r)
+    at_25 = dict(raw_r)[2.5]
+    assert at_25 <= 50 * best
+
+
+def test_enough_proxy_points_saturates(sweep):
+    """Accuracy saturates once the circle is well resolved (64 pts)."""
+    _, raw_n = sweep
+    d = dict(raw_n)
+    assert d[128] <= d[16] * 1.5  # more points never hurt much
+    assert d[64] < 1e-1

@@ -1,0 +1,68 @@
+"""Communication-complexity check (Sec. IV-B).
+
+The paper claims every process sends O(log N + log p) messages and
+O(sqrt(N/p) + log p) words. The vmpi counters give exact per-rank
+counts; this bench sweeps N and p and verifies the shapes:
+
+* messages per rank grow logarithmically in N at fixed p;
+* words per rank grow ~ sqrt(N) at fixed p (halving per 4x N decrease
+  in per-rank load for weak scaling).
+"""
+
+import numpy as np
+import pytest
+
+from common import SCALE, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.parallel import parallel_srs_factor
+from repro.reporting import Table
+
+OPTS = SRSOptions(tol=1e-6, leaf_size=64)
+M_SWEEP = {0: [32, 64, 128], 1: [64, 128, 256], 2: [128, 256, 512]}[SCALE]
+P = 4
+
+
+@pytest.fixture(scope="module")
+def counts():
+    table = Table(
+        f"Communication counters (p = {P}): per-rank maxima over the factorization",
+        ["N", "msgs/rank", "words/rank (8B)", "sqrt(N/p)", "words per sqrt(N/p)"],
+    )
+    raw = []
+    for m in M_SWEEP:
+        prob = LaplaceVolumeProblem(m)
+        fact = parallel_srs_factor(prob.kernel, P, opts=OPTS)
+        msgs = fact.factor_run.max_messages_per_rank()
+        words = fact.factor_run.max_bytes_per_rank() / 8.0
+        root = (m * m / P) ** 0.5
+        table.add_row(f"{m}^2", msgs, f"{words:.0f}", f"{root:.0f}", f"{words / root:.0f}")
+        raw.append((m, msgs, words))
+    save_table("comm_counts", table.render())
+    return raw
+
+
+def test_comm_counts_generated(counts, benchmark):
+    prob = LaplaceVolumeProblem(M_SWEEP[0])
+    benchmark.pedantic(
+        lambda: parallel_srs_factor(prob.kernel, P, opts=OPTS), rounds=1, iterations=1
+    )
+    assert len(counts) == len(M_SWEEP)
+
+
+def test_messages_grow_logarithmically(counts):
+    """Messages per rank ~ a + b log N: the *increment* per 4x N step is
+    bounded by a constant, far below any polynomial growth."""
+    msgs = [msg for _m, msg, _w in counts]
+    increments = [b - a for a, b in zip(msgs, msgs[1:])]
+    assert all(inc <= 40 for inc in increments), increments
+    # strictly sublinear: doubling m (4x N) must not double messages
+    assert msgs[-1] < 2 * msgs[0]
+
+
+def test_words_grow_like_sqrt_n(counts):
+    """Words per rank scale ~ sqrt(N): ratio across a 4x N step is ~2."""
+    words = [w for _m, _msg, w in counts]
+    for a, b in zip(words, words[1:]):
+        ratio = b / a
+        assert 1.2 < ratio < 3.5, f"word growth ratio {ratio} not ~2 per 4x N"

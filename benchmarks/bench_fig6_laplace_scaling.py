@@ -1,0 +1,87 @@
+"""Figure 6: strong and weak scalability of the Laplace factorization.
+
+(a) strong scaling: t_fact vs p at fixed N; (b) weak scaling: t_fact vs
+p at fixed N/p. Rendered as data tables plus an ASCII log-log plot.
+"""
+
+import pytest
+
+from common import SCALE, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.parallel import parallel_srs_factor
+from repro.parallel.ownership import max_ranks_for_tree
+from repro.reporting import ScalingSeries, Table, ascii_loglog, format_seconds
+from repro.tree import QuadTree
+
+OPTS = SRSOptions(tol=1e-6, leaf_size=64)
+
+STRONG_M = {0: [64, 128], 1: [128, 256], 2: [128, 256]}[SCALE]
+STRONG_P = {0: [1, 4, 16], 1: [1, 4, 16], 2: [1, 4, 16, 64]}[SCALE]
+WEAK_BASE_M = {0: 32, 1: 64, 2: 128}[SCALE]  # N/p = WEAK_BASE_M^2
+
+from common import process_counts  # noqa: E402
+
+
+def _pmax(m: int) -> int:
+    nlevels = QuadTree.for_leaf_size(LaplaceVolumeProblem(m).points, 64).nlevels
+    return max_ranks_for_tree(nlevels)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    strong = []
+    for m in STRONG_M:
+        prob = LaplaceVolumeProblem(m)
+        series = ScalingSeries(f"N={m}^2")
+        for p in process_counts(m):
+            if p > _pmax(m) or p not in STRONG_P:
+                continue
+            fact = parallel_srs_factor(prob.kernel, p, opts=OPTS)
+            series.add(p, fact.t_fact)
+        strong.append(series)
+
+    weak = ScalingSeries(f"N/p={WEAK_BASE_M}^2")
+    for p in STRONG_P:
+        m = WEAK_BASE_M * int(p**0.5)
+        prob = LaplaceVolumeProblem(m)
+        if p > _pmax(m):
+            continue
+        fact = parallel_srs_factor(prob.kernel, p, opts=OPTS)
+        weak.add(p, fact.t_fact)
+
+    t = Table("Figure 6a: Laplace strong scaling (t_fact, simulated s)", ["series", "p", "t_fact", "efficiency"])
+    for s in strong:
+        eff = s.parallel_efficiency()
+        for i, (p, tf) in enumerate(zip(s.p_values, s.times)):
+            t.add_row(s.label, p, format_seconds(tf), f"{eff[i]:.2f}")
+    t2 = Table("Figure 6b: Laplace weak scaling (t_fact, simulated s)", ["series", "p", "N", "t_fact"])
+    for p, tf in zip(weak.p_values, weak.times):
+        m = WEAK_BASE_M * int(p**0.5)
+        t2.add_row(weak.label, p, f"{m}^2", format_seconds(tf))
+    art = ascii_loglog(strong + [weak])
+    save_table("fig6_laplace_scaling", t.render() + "\n\n" + t2.render() + "\n\n" + art)
+    return strong, weak
+
+
+def test_fig6_generated(scaling, benchmark):
+    prob = LaplaceVolumeProblem(STRONG_M[0])
+    benchmark.pedantic(
+        lambda: parallel_srs_factor(prob.kernel, 4, opts=OPTS), rounds=1, iterations=1
+    )
+    strong, weak = scaling
+    assert all(len(s.times) >= 2 for s in strong)
+
+
+def test_fig6_strong_scaling_monotone(scaling):
+    """The largest-N series must gain from more ranks."""
+    strong, _ = scaling
+    s = strong[-1]
+    assert s.times[-1] < s.times[0]
+
+
+def test_fig6_weak_scaling_bounded(scaling):
+    """Weak scaling: t_fact grows far slower than the 4x-per-step work."""
+    _, weak = scaling
+    if len(weak.times) >= 2:
+        assert weak.times[-1] < weak.times[0] * len(weak.times) * 2.5

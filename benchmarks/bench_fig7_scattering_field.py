@@ -1,0 +1,76 @@
+"""Figure 7: Gaussian-bump scattering potential and the total field.
+
+Solves the Lippmann-Schwinger equation for a plane wave entering from
+the left and writes grayscale PGM images of (a) the scattering
+potential and (b) |total field|, plus a coarse ASCII rendering.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from common import RESULTS_DIR, SCALE, save_table
+from repro.apps import ScatteringProblem
+from repro.core import SRSOptions
+from repro.reporting import write_pgm
+
+M = {0: 48, 1: 96, 2: 192}[SCALE]
+KAPPA = {0: 25.0, 1: 25.0, 2: 25.0}[SCALE]
+
+
+@pytest.fixture(scope="module")
+def solution():
+    prob = ScatteringProblem(M, KAPPA)
+    fact = prob.factor(SRSOptions(tol=1e-6, leaf_size=64))
+    res = prob.pgmres(fact, prob.rhs())
+    return prob, res
+
+
+def _ascii(img: np.ndarray, width: int = 48) -> str:
+    shades = " .:-=+*#%@"
+    step = max(1, img.shape[0] // width)
+    sub = img[::step, ::step]
+    lo, hi = sub.min(), sub.max()
+    norm = (sub - lo) / (hi - lo + 1e-300)
+    # transpose: x horizontal, y vertical (print top row = max y)
+    rows = []
+    for j in range(norm.shape[1] - 1, -1, -1):
+        rows.append("".join(shades[int(v * 9.999)] for v in norm[:, j]))
+    return "\n".join(rows)
+
+
+def test_fig7_field_images(solution, benchmark):
+    prob, res = solution
+    mu = res.x
+    benchmark.pedantic(lambda: prob.total_field(mu), rounds=1, iterations=1)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    pot = prob.potential_grid()
+    mag = prob.field_magnitude_grid(mu)
+    write_pgm(os.path.join(RESULTS_DIR, "fig7a_potential.pgm"), pot)
+    write_pgm(os.path.join(RESULTS_DIR, "fig7b_total_field.pgm"), mag)
+    save_table(
+        "fig7_scattering_field",
+        f"Figure 7 (kappa={KAPPA}, N={M}^2): PGM images written to benchmarks/results/\n"
+        f"\n(a) scattering potential b(x):\n{_ascii(pot)}\n"
+        f"\n(b) total field |u|:\n{_ascii(mag)}",
+    )
+    assert res.converged
+
+
+def test_fig7_field_physics(solution):
+    prob, res = solution
+    mag = prob.field_magnitude_grid(res.x)
+    # incident |u| = 1; scattering creates interference structure > / < 1
+    assert mag.max() > 1.05
+    assert mag.min() < 0.95
+    # the bump is centered; field magnitude stays ~1 near the inflow corner
+    assert abs(mag[2, 2] - 1.0) < 0.5
+
+
+def test_fig7_equation_residual(solution):
+    prob, res = solution
+    u = prob.total_field(res.x)
+    sigma = prob.sigma_from_mu(res.x)
+    resid = np.linalg.norm(sigma + prob.kappa**2 * prob.b * u) / np.linalg.norm(sigma)
+    assert resid < 1e-6

@@ -1,0 +1,91 @@
+"""Figure 8: strong and weak scalability of the Helmholtz factorization."""
+
+import pytest
+
+from common import SCALE, save_table
+from repro.apps import ScatteringProblem
+from repro.core import SRSOptions
+from repro.parallel import parallel_srs_factor
+from repro.parallel.ownership import max_ranks_for_tree
+from repro.reporting import ScalingSeries, Table, ascii_loglog, format_seconds
+from repro.tree import QuadTree
+
+OPTS = SRSOptions(tol=1e-6, leaf_size=64)
+KAPPA = 25.0
+STRONG_M = {0: [48], 1: [64, 96], 2: [128, 192]}[SCALE]
+P_SWEEP = {0: [1, 4, 16], 1: [1, 4, 16], 2: [1, 4, 16, 64]}[SCALE]
+WEAK_BASE_M = {0: 24, 1: 48, 2: 96}[SCALE]
+
+
+def _pmax(m: int) -> int:
+    prob = ScatteringProblem(m, KAPPA)
+    return max_ranks_for_tree(QuadTree.for_leaf_size(prob.points, 64).nlevels)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    strong = []
+    for m in STRONG_M:
+        prob = ScatteringProblem(m, KAPPA)
+        s = ScalingSeries(f"N={m}^2")
+        for p in P_SWEEP:
+            if p > _pmax(m):
+                continue
+            s.add(p, parallel_srs_factor(prob.kernel, p, opts=OPTS).t_fact)
+        strong.append(s)
+    weak = ScalingSeries(f"N/p={WEAK_BASE_M}^2")
+    for p in P_SWEEP:
+        m = WEAK_BASE_M * int(p**0.5)
+        if p > _pmax(m):
+            continue
+        prob = ScatteringProblem(m, KAPPA)
+        weak.add(p, parallel_srs_factor(prob.kernel, p, opts=OPTS).t_fact)
+
+    t = Table("Figure 8a: Helmholtz strong scaling (t_fact)", ["series", "p", "t_fact", "efficiency"])
+    for s in strong:
+        eff = s.parallel_efficiency()
+        for i, (p, tf) in enumerate(zip(s.p_values, s.times)):
+            t.add_row(s.label, p, format_seconds(tf), f"{eff[i]:.2f}")
+    t2 = Table("Figure 8b: Helmholtz weak scaling (t_fact)", ["series", "p", "N", "t_fact"])
+    for p, tf in zip(weak.p_values, weak.times):
+        t2.add_row(weak.label, p, f"{WEAK_BASE_M * int(p**0.5)}^2", format_seconds(tf))
+    save_table(
+        "fig8_helmholtz_scaling",
+        t.render() + "\n\n" + t2.render() + "\n\n" + ascii_loglog(strong + [weak]),
+    )
+    return strong, weak
+
+
+def test_fig8_generated(scaling, benchmark):
+    prob = ScatteringProblem(STRONG_M[0], KAPPA)
+    benchmark.pedantic(
+        lambda: parallel_srs_factor(prob.kernel, 4, opts=OPTS), rounds=1, iterations=1
+    )
+    strong, weak = scaling
+    assert strong and weak.times
+
+
+def test_fig8_strong_scaling_monotone(scaling):
+    strong, _ = scaling
+    for s in strong:
+        if len(s.times) >= 2:
+            assert s.times[-1] < s.times[0]
+
+
+def test_fig8_speedup_better_than_laplace():
+    """Paper: Helmholtz achieves greater parallel speedups than Laplace
+    (more compute per byte communicated)."""
+    from repro.apps import LaplaceVolumeProblem
+
+    m = STRONG_M[0]
+    lp = LaplaceVolumeProblem(m)
+    hp = ScatteringProblem(m, KAPPA)
+    sp_l = (
+        parallel_srs_factor(lp.kernel, 1, opts=OPTS).t_fact
+        / parallel_srs_factor(lp.kernel, 4, opts=OPTS).t_fact
+    )
+    sp_h = (
+        parallel_srs_factor(hp.kernel, 1, opts=OPTS).t_fact
+        / parallel_srs_factor(hp.kernel, 4, opts=OPTS).t_fact
+    )
+    assert sp_h > sp_l * 0.8  # at least comparable; typically greater

@@ -1,0 +1,74 @@
+"""Table II: runtime for the 2D Laplace kernel vs (N, p).
+
+Regenerates the paper's columns: N, p, t_fact = t_comp + t_other, and
+t_solve = t_comp + t_other for one application of the inverse, at
+eps = 1e-6. Times for p > 1 are simulated-clock seconds (see DESIGN.md);
+the shape to check is the strong-scaling drop down each N block.
+"""
+
+import numpy as np
+import pytest
+
+from common import laplace_grid_sides, process_counts, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.parallel import parallel_srs_factor
+from repro.reporting import Table, format_seconds
+
+OPTS = SRSOptions(tol=1e-6, leaf_size=64)
+
+
+def run_sweep() -> Table:
+    table = Table(
+        "Table II: 2D Laplace runtime (eps = 1e-6); simulated seconds for p > 1",
+        ["N", "p", "t_fact", "t_comp", "t_other", "t_solve", "s_comp", "s_other"],
+    )
+    for m in laplace_grid_sides():
+        prob = LaplaceVolumeProblem(m)
+        b = prob.random_rhs()
+        for p in process_counts(m):
+            fact = parallel_srs_factor(prob.kernel, p, opts=OPTS)
+            fact.solve(b)
+            solve_run = fact.last_solve_run
+            table.add_row(
+                f"{m}^2",
+                p,
+                format_seconds(fact.t_fact),
+                format_seconds(fact.t_fact_comp),
+                format_seconds(fact.t_fact_other),
+                format_seconds(fact.t_solve),
+                format_seconds(solve_run.compute),
+                format_seconds(solve_run.other),
+            )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    table = run_sweep()
+    save_table("table2_laplace_runtime", table.render())
+    return table
+
+
+def test_table2_rows_generated(sweep, benchmark):
+    m = laplace_grid_sides()[0]
+    prob = LaplaceVolumeProblem(m)
+    benchmark.pedantic(
+        lambda: parallel_srs_factor(prob.kernel, 4, opts=OPTS), rounds=1, iterations=1
+    )
+    assert len(sweep.rows) >= 4
+
+
+def test_table2_factorization_scales(sweep):
+    """t_fact decreases with p at the largest N (strong-scaling shape).
+
+    Small-N rows are latency/serialization bound at our scale — the
+    paper's smallest parallel run is N = 2048^2.
+    """
+    by_n = {}
+    for row in sweep.rows:
+        by_n.setdefault(row[0], []).append(float(row[2]))
+    largest = list(by_n)[-1]
+    times = by_n[largest]
+    if len(times) >= 2:
+        assert times[-1] < times[0], f"no strong-scaling gain at N={largest}"

@@ -1,0 +1,77 @@
+"""Table III: Laplace accuracy vs compression tolerance.
+
+Columns: eps, N, t_fact, t_solve, relres (FFT-verified residual of the
+one-shot direct solve), and nit (PCG iterations to 1e-12 with the
+factorization as preconditioner). Paper shape: relres ~ 1e3 * eps and
+nit constant (4-6 at eps=1e-6, 2-3 at 1e-9, 2 at 1e-12).
+"""
+
+import time
+
+import pytest
+
+from common import accuracy_grid_sides, save_table, tolerances
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.reporting import Table, format_sci, format_seconds
+
+
+def run_sweep() -> Table:
+    table = Table(
+        "Table III: Laplace accuracy (sequential, wall-clock seconds)",
+        ["eps", "N", "t_fact", "t_solve", "relres", "nit"],
+    )
+    for tol in tolerances():
+        for m in accuracy_grid_sides():
+            prob = LaplaceVolumeProblem(m)
+            b = prob.random_rhs()
+            t0 = time.perf_counter()
+            fact = prob.factor(SRSOptions(tol=tol, leaf_size=64))
+            t_fact = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            x = fact.solve(b)
+            t_solve = time.perf_counter() - t0
+            res = prob.pcg(fact, b)
+            table.add_row(
+                format_sci(tol),
+                f"{m}^2",
+                format_seconds(t_fact),
+                format_seconds(t_solve),
+                format_sci(prob.relres(x, b)),
+                res.iterations,
+            )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    table = run_sweep()
+    save_table("table3_laplace_accuracy", table.render())
+    return table
+
+
+def test_table3_generated(sweep, benchmark):
+    m = accuracy_grid_sides()[0]
+    prob = LaplaceVolumeProblem(m)
+    benchmark.pedantic(
+        lambda: prob.factor(SRSOptions(tol=1e-6, leaf_size=64)), rounds=1, iterations=1
+    )
+    assert len(sweep.rows) >= 4
+
+
+def test_table3_relres_tracks_tolerance(sweep):
+    """Tighter eps gives (much) smaller relres at every N."""
+    by_n = {}
+    for row in sweep.rows:
+        by_n.setdefault(row[1], []).append((float(row[0]), float(row[4])))
+    for n, pairs in by_n.items():
+        pairs.sort(reverse=True)
+        res = [r for _tol, r in pairs]
+        assert res == sorted(res, reverse=True), f"relres not monotone at N={n}"
+        assert res[-1] < res[0] / 100
+
+
+def test_table3_nit_small_and_stable(sweep):
+    """Preconditioned CG converges in a handful of iterations."""
+    nits = [int(row[5]) for row in sweep.rows]
+    assert max(nits) <= 12

@@ -1,0 +1,85 @@
+"""Table IV: runtime for the 2D Helmholtz kernel (fixed kappa = 25).
+
+Same layout as Table II for the complex Lippmann-Schwinger system.
+Paper shape to verify: larger t_fact than Laplace at equal N (complex
+kernel evaluation), good strong-scaling drop, and a cheap solve.
+"""
+
+import pytest
+
+from common import helmholtz_grid_sides, process_counts, save_table
+from repro.apps import ScatteringProblem
+from repro.core import SRSOptions
+from repro.parallel import parallel_srs_factor
+from repro.reporting import Table, format_seconds
+
+OPTS = SRSOptions(tol=1e-6, leaf_size=64)
+KAPPA = 25.0
+
+
+def run_sweep() -> Table:
+    table = Table(
+        "Table IV: 2D Helmholtz runtime (kappa=25, eps=1e-6); simulated s for p > 1",
+        ["N", "p", "t_fact", "t_comp", "t_other", "t_solve", "s_comp", "s_other"],
+    )
+    for m in helmholtz_grid_sides():
+        prob = ScatteringProblem(m, KAPPA)
+        b = prob.rhs()
+        for p in process_counts(m):
+            fact = parallel_srs_factor(prob.kernel, p, opts=OPTS)
+            fact.solve(b)
+            run = fact.last_solve_run
+            table.add_row(
+                f"{m}^2",
+                p,
+                format_seconds(fact.t_fact),
+                format_seconds(fact.t_fact_comp),
+                format_seconds(fact.t_fact_other),
+                format_seconds(fact.t_solve),
+                format_seconds(run.compute),
+                format_seconds(run.other),
+            )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    table = run_sweep()
+    save_table("table4_helmholtz_runtime", table.render())
+    return table
+
+
+def test_table4_generated(sweep, benchmark):
+    m = helmholtz_grid_sides()[0]
+    prob = ScatteringProblem(m, KAPPA)
+    benchmark.pedantic(
+        lambda: parallel_srs_factor(prob.kernel, 1, opts=OPTS), rounds=1, iterations=1
+    )
+    assert len(sweep.rows) >= 3
+
+
+def test_table4_strong_scaling(sweep):
+    """Strong scaling at the largest N (small-N rows are latency-bound)."""
+    by_n = {}
+    for row in sweep.rows:
+        by_n.setdefault(row[0], []).append(float(row[2]))
+    largest = list(by_n)[-1]
+    times = by_n[largest]
+    if len(times) >= 2:
+        assert times[-1] < times[0]
+
+
+def test_table4_helmholtz_slower_than_laplace():
+    """Complex Hankel evaluation makes t_fact larger than Laplace at equal N."""
+    import time
+
+    from repro.apps import LaplaceVolumeProblem
+
+    m = helmholtz_grid_sides()[0]
+    t0 = time.perf_counter()
+    LaplaceVolumeProblem(m).factor(OPTS)
+    t_lap = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    ScatteringProblem(m, KAPPA).factor(OPTS)
+    t_helm = time.perf_counter() - t0
+    assert t_helm > t_lap

@@ -1,0 +1,81 @@
+"""Table V: Helmholtz with increasing frequency (32 points/wavelength).
+
+kappa = pi sqrt(N) / 16 grows with N. Columns: N, kappa/2pi, t_fact,
+t_solve, nit (preconditioned GMRES to 1e-12) and ~nit (unpreconditioned
+GMRES(20)). Paper shape: t_fact grows superlinearly (rank ~ O(kappa)),
+nit grows slowly, ~nit explodes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from common import SCALE, save_table
+from repro.apps import ScatteringProblem
+from repro.core import SRSOptions
+from repro.reporting import Table, format_seconds
+
+M_SWEEP = {0: [16, 32, 48], 1: [32, 64, 96], 2: [64, 128, 192]}[SCALE]
+UNPREC_CAP = {0: 3000, 1: 5000, 2: 8000}[SCALE]
+OPTS = SRSOptions(tol=1e-6, leaf_size=64)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    table = Table(
+        "Table V: Helmholtz, increasing frequency (32 points per wavelength)",
+        ["N", "kappa/2pi", "t_fact", "t_solve", "nit", "~nit (GMRES(20))"],
+    )
+    rows_raw = []
+    for m in M_SWEEP:
+        prob = ScatteringProblem.increasing_frequency(m)
+        b = prob.rhs()
+        t0 = time.perf_counter()
+        fact = prob.factor(OPTS)
+        t_fact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fact.solve(b)
+        t_solve = time.perf_counter() - t0
+        pre = prob.pgmres(fact, b)
+        plain = prob.unpreconditioned_gmres(b, tol=1e-12, maxiter=UNPREC_CAP)
+        nit_plain = plain.iterations if plain.converged else f"> {UNPREC_CAP}"
+        table.add_row(
+            f"{m}^2",
+            f"{prob.kappa / (2 * np.pi):.2f}",
+            format_seconds(t_fact),
+            format_seconds(t_solve),
+            pre.iterations,
+            nit_plain,
+        )
+        rows_raw.append((m, t_fact, pre.iterations, plain.iterations, plain.converged))
+    save_table("table5_increasing_frequency", table.render())
+    return table, rows_raw
+
+
+def test_table5_generated(sweep, benchmark):
+    prob = ScatteringProblem.increasing_frequency(M_SWEEP[0])
+    benchmark.pedantic(lambda: prob.factor(OPTS), rounds=1, iterations=1)
+    table, _ = sweep
+    assert len(table.rows) == len(M_SWEEP)
+
+
+def test_table5_preconditioned_iterations_stay_small(sweep):
+    _, raw = sweep
+    assert all(nit <= 15 for _m, _t, nit, _pn, _c in raw)
+
+
+def test_table5_unpreconditioned_grows_fast(sweep):
+    """~nit grows much faster than nit with frequency (paper: orders of
+    magnitude at the largest sizes)."""
+    _, raw = sweep
+    plain = [pn for _m, _t, _nit, pn, _c in raw]
+    assert plain[-1] > plain[0]
+    assert plain[-1] > 5 * raw[-1][2]  # far above the preconditioned count
+
+
+def test_table5_factor_time_grows_superlinearly(sweep):
+    """t_fact per point grows with kappa (rank growth, Fig. 9 right)."""
+    _, raw = sweep
+    per_point = [t / (m * m) for m, t, _n, _pn, _c in raw]
+    assert per_point[-1] > per_point[0]

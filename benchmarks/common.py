@@ -1,0 +1,80 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` picks the problem sizes (0 = CI-sized default,
+1 = medium paper-shaped sweeps, 2 = large). Every bench prints a table
+with the same row layout as the corresponding table/figure in the
+paper and writes it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.util.config import bench_scale
+
+SCALE = bench_scale()
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text + "\n", flush=True)
+
+
+def laplace_grid_sides() -> list[int]:
+    """Grid sides m (N = m^2) for the Laplace runtime sweeps.
+
+    The paper runs N = 2048^2 .. 32768^2; the scaled-down sweep keeps
+    the same geometric progression and, like the paper, only adds ranks
+    once N is large enough that interior boxes dominate.
+    """
+    return {0: [64, 128], 1: [64, 128, 256], 2: [128, 256, 512]}[SCALE]
+
+
+def helmholtz_grid_sides() -> list[int]:
+    return {0: [32, 64], 1: [64, 96], 2: [96, 128, 192]}[SCALE]
+
+
+def accuracy_grid_sides() -> list[int]:
+    """Smaller sizes for the accuracy sweeps (sequential, eps sweep)."""
+    return {0: [32, 64], 1: [32, 64, 128], 2: [64, 128, 256]}[SCALE]
+
+
+def process_counts(m: int, *, min_region: int = 4) -> list[int]:
+    """Process sweep per grid side.
+
+    A rank must own at least ``min_region x min_region`` leaf boxes for
+    interior boxes to exist (Sec. III-A: "the number of interior boxes
+    dominates" only when regions are large) — the scaling shape only
+    appears above that, so p grows with N exactly as in the paper.
+    """
+    import math
+
+    nlevels = max(2, math.ceil(math.log(m * m / 64, 4)))
+    leaf_side = 2**nlevels
+    cap = {0: 16, 1: 64, 2: 64}[SCALE]
+    out = [1]
+    for p in (4, 16, 64):
+        if p <= cap and leaf_side // int(math.isqrt(p)) >= min_region:
+            out.append(p)
+    return out
+
+
+def tolerances() -> list[float]:
+    return {0: [1e-6, 1e-9], 1: [1e-6, 1e-9, 1e-12], 2: [1e-3, 1e-6, 1e-9, 1e-12]}[SCALE]
+
+
+def nlevels_for(m: int, p: int, leaf_size: int = 64) -> int:
+    """Tree depth for a distributed run: natural depth for the leaf
+    size, but at least ``log4(p) + 2`` so every rank owns a 4x4 block of
+    leaves and interior boxes exist (the paper's weak-scaling runs keep
+    N/p huge for the same reason; at our scaled-down N a slightly deeper
+    tree restores the interior/boundary ratio)."""
+    import math
+
+    natural = max(2, math.ceil(math.log(m * m / leaf_size, 4)))
+    g = round(math.log(max(p, 1), 4))
+    return max(natural, g + 2)

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make `pytest benchmarks/` runnable."""
+
+import sys
+from pathlib import Path
+
+# allow `import common` from bench modules regardless of rootdir
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment ships setuptools 65 without the ``wheel``
+package and has no network access, so PEP-517 editable installs
+(``bdist_wheel``) are unavailable. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` perform a
+legacy editable install; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

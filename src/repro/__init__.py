@@ -1,0 +1,73 @@
+"""repro — an O(N) distributed-memory parallel direct solver for planar
+integral equations.
+
+A from-scratch Python reproduction of Liang, Chen, Martinsson & Biros
+(IPDPS 2024, arXiv:2310.15458): the strong recursive skeletonization
+factorization (RS-S) of dense kernel matrices from 2D integral
+equations, parallelized over a simulated distributed-memory runtime.
+
+Quickstart::
+
+    import numpy as np
+    from repro import LaplaceVolumeProblem, SRSOptions, srs_factor
+
+    prob = LaplaceVolumeProblem(m=64)          # N = 64^2 collocation points
+    fact = prob.factor(SRSOptions(tol=1e-6))    # O(N) factorization
+    b = prob.random_rhs()
+    x = fact.solve(b)                           # O(N) direct solve
+    print(prob.relres(x, b))                    # ~1e-3 (first-kind IE)
+    print(prob.pcg(fact, b).iterations)         # ~5 PCG its to 1e-12
+
+Distributed (simulated ranks)::
+
+    from repro import parallel_srs_factor
+    pfact = parallel_srs_factor(prob.kernel, p=16)
+    x = pfact.solve(b)
+    print(pfact.t_fact, pfact.t_fact_comp, pfact.t_fact_other)
+"""
+
+from repro.core import SRSFactorization, SRSOptions, srs_factor
+from repro.parallel import (
+    ParallelFactorization,
+    parallel_srs_factor,
+    shared_memory_factor,
+)
+from repro.apps import LaplaceVolumeProblem, ScatteringProblem, plane_wave
+from repro.kernels import (
+    GaussianKernelMatrix,
+    HelmholtzKernelMatrix,
+    KernelMatrix,
+    LaplaceKernelMatrix,
+    YukawaKernelMatrix,
+)
+from repro.geometry import uniform_grid
+from repro.matvec import DenseMatVec, FFTMatVec
+from repro.iterative import cg, gmres
+from repro.tree import AdaptiveQuadTree, QuadTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SRSFactorization",
+    "SRSOptions",
+    "srs_factor",
+    "ParallelFactorization",
+    "parallel_srs_factor",
+    "shared_memory_factor",
+    "LaplaceVolumeProblem",
+    "ScatteringProblem",
+    "plane_wave",
+    "KernelMatrix",
+    "LaplaceKernelMatrix",
+    "HelmholtzKernelMatrix",
+    "GaussianKernelMatrix",
+    "YukawaKernelMatrix",
+    "uniform_grid",
+    "DenseMatVec",
+    "FFTMatVec",
+    "cg",
+    "gmres",
+    "QuadTree",
+    "AdaptiveQuadTree",
+    "__version__",
+]

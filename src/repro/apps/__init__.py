@@ -1,0 +1,6 @@
+"""Application problem setups from the paper's evaluation (Sec. V)."""
+
+from repro.apps.laplace_volume import LaplaceVolumeProblem
+from repro.apps.scattering import ScatteringProblem, plane_wave
+
+__all__ = ["LaplaceVolumeProblem", "ScatteringProblem", "plane_wave"]

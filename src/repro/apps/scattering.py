@@ -1,0 +1,138 @@
+"""Lippmann–Schwinger acoustic scattering (Sec. V-B, Eqns. 18–21).
+
+Models a plane wave hitting a compactly supported scattering potential
+``b(x)`` on the unit square. The symmetrized unknown is
+``mu = sigma / sqrt(b)``; after solving, the physical density
+``sigma = sqrt(b) mu`` gives the scattered and total fields (Fig. 7b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.factorization import SRSFactorization, srs_factor
+from repro.core.options import SRSOptions
+from repro.geometry.points import uniform_grid
+from repro.iterative.gmres import GMRESResult, gmres
+from repro.kernels.helmholtz import (
+    HelmholtzKernelMatrix,
+    gaussian_bump,
+    hankel_cell_self_integral,
+    helmholtz_greens,
+)
+from repro.matvec.toeplitz import FFTMatVec
+
+
+def plane_wave(points: np.ndarray, kappa: float, direction=(1.0, 0.0)) -> np.ndarray:
+    """Incident plane wave ``exp(i kappa d . x)`` (paper: traveling right)."""
+    d = np.asarray(direction, dtype=float)
+    d = d / np.linalg.norm(d)
+    phase = kappa * (points @ d)
+    return np.exp(1j * phase)
+
+
+@dataclass
+class ScatteringProblem:
+    """The paper's Helmholtz benchmark: Gaussian-bump scattering potential."""
+
+    m: int
+    kappa: float
+    potential: Callable[[np.ndarray], np.ndarray] = field(default=gaussian_bump)
+    direction: tuple[float, float] = (1.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.m < 4:
+            raise ValueError(f"grid side must be >= 4, got {self.m}")
+        if self.kappa <= 0:
+            raise ValueError("kappa must be positive")
+        self.points = uniform_grid(self.m)
+        self.h = 1.0 / self.m
+        self.b = np.asarray(self.potential(self.points), dtype=float)
+        self.kernel = HelmholtzKernelMatrix(self.points, self.h, self.kappa, b=self.b)
+        self.matvec = FFTMatVec(self.kernel, self.m)
+
+    @property
+    def n(self) -> int:
+        return self.m * self.m
+
+    @classmethod
+    def increasing_frequency(cls, m: int, points_per_wavelength: float = 32.0) -> "ScatteringProblem":
+        """Table V setup: ``kappa = pi sqrt(N) / 16`` keeps 32 points/wavelength."""
+        kappa = 2.0 * np.pi * m / points_per_wavelength
+        return cls(m, kappa)
+
+    # ------------------------------------------------------------------
+    def rhs(self) -> np.ndarray:
+        """Symmetrized right-hand side ``-kappa^2 sqrt(b) u_in`` (Eq. 18)."""
+        uin = plane_wave(self.points, self.kappa, self.direction)
+        return -(self.kappa**2) * np.sqrt(self.b) * uin
+
+    def random_rhs(self, seed: int = 0, nrhs: int = 1) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        shape = (self.n,) if nrhs == 1 else (self.n, nrhs)
+        return rng.random(shape) + 1j * rng.random(shape)
+
+    def factor(self, opts: SRSOptions | None = None) -> SRSFactorization:
+        return srs_factor(self.kernel, opts=opts or SRSOptions())
+
+    def relres(self, x: np.ndarray, b: np.ndarray) -> float:
+        return self.matvec.residual_norm(x, b)
+
+    def pgmres(self, fact, b: np.ndarray, *, tol: float = 1e-12, maxiter: int = 500) -> GMRESResult:
+        """Preconditioned GMRES to 1e-12 (Tables IV/V ``nit``)."""
+        return gmres(
+            self.matvec, b, preconditioner=fact.solve, tol=tol, restart=50, maxiter=maxiter
+        )
+
+    def unpreconditioned_gmres(
+        self, b: np.ndarray, *, tol: float = 1e-12, restart: int = 20, maxiter: int = 10_000
+    ) -> GMRESResult:
+        """Table V baseline ``~nit``: GMRES(20) without a preconditioner."""
+        return gmres(self.matvec, b, tol=tol, restart=restart, maxiter=maxiter)
+
+    # ------------------------------------------------------------------
+    def sigma_from_mu(self, mu: np.ndarray) -> np.ndarray:
+        """Undo the symmetrizing change of variables."""
+        return np.sqrt(self.b) * mu
+
+    def total_field(self, mu: np.ndarray) -> np.ndarray:
+        """Total field ``u = u_in + Integral K sigma`` on the grid (Fig. 7b).
+
+        The convolution with the free-space kernel is evaluated with the
+        same FFT embedding used for the system matvec; the singular cell
+        is integrated exactly.
+        """
+        sigma = self.sigma_from_mu(mu)
+        uin = plane_wave(self.points, self.kappa, self.direction)
+        # volume potential: sum_j h^2 g(x_i - x_j) sigma_j + self-cell term
+        conv = _volume_potential(self.m, self.h, self.kappa, sigma)
+        return uin + conv
+
+    def field_magnitude_grid(self, mu: np.ndarray) -> np.ndarray:
+        """``|u|`` reshaped to the grid (row-major ``(i, j)``), for plotting."""
+        return np.abs(self.total_field(mu)).reshape(self.m, self.m)
+
+    def potential_grid(self) -> np.ndarray:
+        """The scattering potential on the grid (Fig. 7a)."""
+        return self.b.reshape(self.m, self.m)
+
+
+def _volume_potential(m: int, h: float, kappa: float, density: np.ndarray) -> np.ndarray:
+    """``Integral K(|x - y|) density(y) dy`` on the grid via FFT convolution."""
+    offs = np.arange(2 * m)
+    offs = np.where(offs < m, offs, offs - 2 * m).astype(float) * h
+    ox, oy = np.meshgrid(offs, offs, indexing="ij")
+    pts = np.column_stack([ox.ravel(), oy.ravel()])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        table = helmholtz_greens(pts, np.zeros((1, 2)), kappa)[:, 0].reshape(2 * m, 2 * m)
+    table *= h * h
+    table[0, 0] = hankel_cell_self_integral(kappa, h)
+    table[~np.isfinite(table)] = 0.0
+    ghat = np.fft.fft2(table)
+    pad = np.zeros((2 * m, 2 * m), dtype=complex)
+    pad[:m, :m] = density.reshape(m, m)
+    out = np.fft.ifft2(np.fft.fft2(pad) * ghat)[:m, :m]
+    return out.ravel()

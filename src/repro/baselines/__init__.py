@@ -1,0 +1,5 @@
+"""Baseline solvers/preconditioners the direct solver is compared against."""
+
+from repro.baselines.block_jacobi import BlockJacobiPreconditioner
+
+__all__ = ["BlockJacobiPreconditioner"]

@@ -1,0 +1,52 @@
+"""Block-Jacobi preconditioner baseline.
+
+The cheapest structure-exploiting preconditioner for a kernel matrix:
+invert the diagonal blocks of the leaf-level partition and ignore all
+coupling. It costs O(N r^2) to build — far less than the RS-S
+factorization — but, unlike RS-S, its preconditioned iteration counts
+*grow* with N because the neglected off-diagonal coupling carries the
+long-range physics. The ablation bench contrasts the two, quantifying
+what the paper buys by compressing the far field instead of dropping
+it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelMatrix
+from repro.linalg.lu import PartialLU
+from repro.tree.quadtree import QuadTree
+
+
+class BlockJacobiPreconditioner:
+    """``M^{-1} = blockdiag(A[B_i, B_i])^{-1}`` over leaf boxes."""
+
+    def __init__(self, kernel: KernelMatrix, *, leaf_size: int = 64, tree: QuadTree | None = None):
+        self.kernel = kernel
+        self.tree = tree or QuadTree.for_leaf_size(kernel.points, leaf_size)
+        if self.tree.N != kernel.n:
+            raise ValueError("tree and kernel must share the point set")
+        self._blocks: list[tuple[np.ndarray, PartialLU]] = []
+        for box in self.tree.nonempty_leaves():
+            idx = self.tree.leaf_points(*box)
+            self._blocks.append((idx, PartialLU(kernel.block(idx, idx))))
+
+    @property
+    def n(self) -> int:
+        return self.kernel.n
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Apply ``M^{-1} b`` (vector or multi-column)."""
+        b = np.asarray(b)
+        if b.shape[0] != self.n:
+            raise ValueError(f"rhs has {b.shape[0]} rows, expected {self.n}")
+        x = np.zeros_like(b, dtype=np.result_type(self.kernel.dtype, b.dtype))
+        for idx, lu in self._blocks:
+            x[idx] = lu.solve_left(b[idx])
+        return x
+
+    __call__ = solve
+
+    def memory_bytes(self) -> int:
+        return sum(lu._lu.nbytes for _idx, lu in self._blocks)

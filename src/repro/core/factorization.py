@@ -1,0 +1,205 @@
+"""Multilevel RS-S factorization (Algorithm 1) and the factored solver.
+
+``srs_factor`` sweeps the quadtree bottom-up. At each level every box
+is skeletonized (compression + partial elimination); between levels the
+surviving skeletons are regrouped under their parents and the modified
+near-field blocks are re-assembled on parent pairs (Sec. II-E). The
+result is a sequence of :class:`~repro.core.skel.BoxRecord`, which is
+an implicit factorization ``A ~= V_1^{-1} ... V_K^{-1} W_K^{-1} ... W_1^{-1}``
+whose inverse applies in O(N) (Sec. II-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.interactions import Coord, InteractionStore, PairKey
+from repro.core.options import SRSOptions
+from repro.core.proxy import proxy_points_for_box
+from repro.core.skel import BoxRecord, skeletonize_box
+from repro.core.stats import RankStats
+from repro.kernels.base import KernelMatrix
+from repro.tree.quadtree import QuadTree
+from repro.util.timing import TimingBreakdown
+
+
+@dataclass
+class SRSFactorization:
+    """The computed factorization: an O(N)-applicable compressed inverse."""
+
+    records: list[BoxRecord]
+    n: int
+    dtype: np.dtype
+    opts: SRSOptions
+    stats: RankStats = field(default_factory=RankStats)
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Apply the compressed inverse: ``x ~= A^{-1} b``.
+
+        ``b`` may be a vector ``(N,)`` or a block of right-hand sides
+        ``(N, nrhs)`` — the multiple-RHS use case the direct solver is
+        built for (Sec. I-A).
+        """
+        b = np.asarray(b)
+        if b.shape[0] != self.n:
+            raise ValueError(f"rhs has {b.shape[0]} rows, expected {self.n}")
+        x = b.astype(np.result_type(self.dtype, b.dtype), copy=True)
+        for rec in self.records:
+            rec.apply_v(x)
+        for rec in reversed(self.records):
+            rec.apply_w(x)
+        return x
+
+    __call__ = solve
+
+    def eliminated_count(self) -> int:
+        """Total number of redundant indices (must equal ``n``)."""
+        return int(sum(rec.redundant.size for rec in self.records))
+
+    def memory_bytes(self) -> int:
+        return sum(rec.memory_bytes() for rec in self.records)
+
+    def skeleton_sizes(self, level: int) -> list[int]:
+        return [rec.rank for rec in self.records if rec.level == level]
+
+
+def srs_factor(
+    kernel: KernelMatrix,
+    tree: QuadTree | None = None,
+    opts: SRSOptions | None = None,
+) -> SRSFactorization:
+    """Factorize the kernel matrix (Algorithm 1).
+
+    Parameters
+    ----------
+    kernel:
+        The dense system matrix, defined implicitly over its points.
+    tree:
+        Quadtree over the same points; built from ``opts.leaf_size``
+        when omitted.
+    opts:
+        Compression/proxy options.
+    """
+    opts = opts or SRSOptions()
+    if tree is None:
+        tree = QuadTree.for_leaf_size(kernel.points, opts.leaf_size)
+    if tree.N != kernel.n:
+        raise ValueError("tree and kernel must be over the same point set")
+
+    fact = SRSFactorization([], kernel.n, kernel.dtype, opts)
+    active: dict[Coord, np.ndarray] = {
+        c: tree.leaf_points(*c) for c in tree.nonempty_leaves()
+    }
+    seed_blocks: dict[PairKey, np.ndarray] | None = None
+
+    for level in range(tree.nlevels, 0, -1):
+        store = InteractionStore(
+            kernel,
+            active,
+            blocks=seed_blocks,
+            max_modified_distance=2 if opts.check_locality else None,
+        )
+        factor_level(fact, store, kernel, tree, level, opts)
+        if level > 1:
+            active, seed_blocks = transition_to_parent(store, tree, level)
+        else:
+            remaining = sum(v.size for v in store.active.values())
+            if remaining:  # pragma: no cover - indicates an algorithmic bug
+                raise RuntimeError(f"{remaining} indices survived the root level")
+
+    if fact.eliminated_count() != kernel.n:  # pragma: no cover - invariant
+        raise RuntimeError(
+            f"eliminated {fact.eliminated_count()} of {kernel.n} indices"
+        )
+    return fact
+
+
+def factor_level(
+    fact: SRSFactorization,
+    store: InteractionStore,
+    kernel: KernelMatrix,
+    tree: QuadTree,
+    level: int,
+    opts: SRSOptions,
+    boxes: list[Coord] | None = None,
+    task_times: list | None = None,
+) -> None:
+    """Skeletonize ``boxes`` (default: every box) at ``level`` in order.
+
+    ``task_times`` (when a list) collects ``(level, box, seconds)`` per
+    skeletonization — the shared-memory comparator schedules these
+    measured task durations onto simulated threads (Table VI).
+    """
+    import time as _time
+
+    has_far_field = tree.nside(level) >= 4
+    side = tree.box_side(level)
+    todo = boxes if boxes is not None else tree.boxes(level)
+    with fact.timings.measure(f"level_{level}"):
+        for box in todo:
+            if box not in store.active:
+                continue
+            nbrs = tree.neighbors(level, *box)
+            m_boxes = tree.dist2_neighbors(level, *box) if has_far_field else []
+            proxy = (
+                proxy_points_for_box(kernel, tree.box_center(level, *box), side, opts)
+                if has_far_field
+                else None
+            )
+            size_before = store.nactive(box)
+            t0 = _time.perf_counter()
+            rec = skeletonize_box(
+                store, kernel, box, nbrs, m_boxes, proxy, opts, level=level
+            )
+            if task_times is not None:
+                task_times.append((level, box, _time.perf_counter() - t0))
+            if rec is None:
+                continue
+            fact.stats.record(level, size_before, rec.rank)
+            fact.records.append(rec)
+
+
+def transition_to_parent(
+    store: InteractionStore, tree: QuadTree, level: int
+) -> tuple[dict[Coord, np.ndarray], dict[PairKey, np.ndarray]]:
+    """Regroup skeletons under parents and reassemble near-field blocks.
+
+    Only parent pairs at Chebyshev distance <= 1 can contain modified
+    child blocks (child pairs at distance <= 2 have parents at distance
+    <= 1); distance-2 parent pairs assemble from child pairs at
+    distance >= 3, which Theorem 2 guarantees are pure kernel — they
+    are left to lazy kernel evaluation at the parent level.
+    """
+    parent_level = level - 1
+    parent_children: dict[Coord, list[Coord]] = {}
+    for box, idx in store.active.items():
+        if idx.size == 0:
+            continue
+        parent_children.setdefault((box[0] >> 1, box[1] >> 1), []).append(box)
+    parent_active: dict[Coord, np.ndarray] = {}
+    for parent in parent_children:
+        ordered = [
+            c
+            for c in tree.children(parent_level, *parent)
+            if c in store.active and store.nactive(c) > 0
+        ]
+        parent_children[parent] = ordered
+        parent_active[parent] = np.concatenate([store.active_of(c) for c in ordered])
+
+    new_blocks: dict[PairKey, np.ndarray] = {}
+    nside = 1 << parent_level
+    for p1, c1s in parent_children.items():
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                p2 = (p1[0] + dx, p1[1] + dy)
+                if not (0 <= p2[0] < nside and 0 <= p2[1] < nside):
+                    continue
+                c2s = parent_children.get(p2)
+                if not c2s:
+                    continue
+                rows = [np.hstack([store.get(c1, c2) for c2 in c2s]) for c1 in c1s]
+                new_blocks[(p1, p2)] = np.vstack(rows)
+    return parent_active, new_blocks

@@ -1,0 +1,58 @@
+"""Options controlling the RS-S factorization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SRSOptions:
+    """Parameters of the strong recursive skeletonization factorization.
+
+    Attributes
+    ----------
+    tol:
+        Relative tolerance ``eps`` of the interpolative decomposition
+        (Definition 1). The paper's experiments use ``1e-6`` by default.
+    leaf_size:
+        Target number of points per leaf box (``O(r)``; Sec. IV).
+    proxy_radius_factor:
+        Proxy-circle radius as a multiple of the box side; the paper
+        chooses ``2.5 L`` (Sec. II-C).
+    n_proxy:
+        Baseline number of points on the proxy circle.
+    proxy_oversampling:
+        For oscillatory kernels the circle must resolve the wavelength:
+        the point count grows to
+        ``proxy_oversampling * kappa * radius`` when the kernel exposes
+        a wave number ``kappa``.
+    id_method:
+        ``"cpqr"`` (deterministic, the paper's choice) or
+        ``"randomized"`` (sketched, Sec. II-B's randomized alternative).
+    check_locality:
+        Debug switch: assert that the factorization never touches a
+        far-field block (Remarks 1–2). Costs a little bookkeeping.
+    """
+
+    tol: float = 1e-6
+    leaf_size: int = 64
+    proxy_radius_factor: float = 2.5
+    n_proxy: int = 64
+    proxy_oversampling: float = 3.0
+    id_method: str = "cpqr"
+    check_locality: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tol < 0:
+            raise ValueError(f"tol must be nonnegative, got {self.tol}")
+        if self.leaf_size <= 0:
+            raise ValueError(f"leaf_size must be positive, got {self.leaf_size}")
+        if self.proxy_radius_factor <= 1.5:
+            raise ValueError(
+                "proxy circle must lie outside the near field "
+                f"(radius factor > 1.5), got {self.proxy_radius_factor}"
+            )
+        if self.n_proxy < 8:
+            raise ValueError(f"n_proxy too small: {self.n_proxy}")
+        if self.id_method not in ("cpqr", "randomized"):
+            raise ValueError(f"unknown id_method {self.id_method!r}")

@@ -1,0 +1,51 @@
+"""Factorization statistics: per-level skeleton ranks and memory.
+
+Figure 9 of the paper reports the average skeleton rank per tree level
+for the Laplace and Helmholtz kernels; :class:`RankStats` captures the
+same quantity during factorization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RankStats:
+    """Per-level rank/occupancy statistics of an RS-S factorization."""
+
+    #: level -> list of skeleton sizes of boxes processed at that level
+    ranks: dict[int, list[int]] = field(default_factory=dict)
+    #: level -> list of box sizes (active counts) before compression
+    box_sizes: dict[int, list[int]] = field(default_factory=dict)
+
+    def record(self, level: int, box_size: int, rank: int) -> None:
+        self.ranks.setdefault(level, []).append(rank)
+        self.box_sizes.setdefault(level, []).append(box_size)
+
+    def average_rank(self, level: int) -> float:
+        vals = self.ranks.get(level)
+        return float(np.mean(vals)) if vals else 0.0
+
+    def max_rank(self, level: int) -> int:
+        vals = self.ranks.get(level)
+        return int(np.max(vals)) if vals else 0
+
+    def levels(self) -> list[int]:
+        return sorted(self.ranks)
+
+    def table(self) -> list[tuple[int, float, int, float]]:
+        """Rows ``(level, avg_rank, max_rank, avg_box_size)`` (Fig. 9 data)."""
+        out = []
+        for lvl in self.levels():
+            out.append(
+                (
+                    lvl,
+                    self.average_rank(lvl),
+                    self.max_rank(lvl),
+                    float(np.mean(self.box_sizes[lvl])),
+                )
+            )
+        return out

@@ -1,0 +1,75 @@
+"""(Preconditioned) conjugate gradients.
+
+Matches the paper's usage for the symmetric Laplace systems: the RS-S
+factorization is applied as the preconditioner ``M^{-1} ~ A^{-1}`` and
+iterations stop when ``||r|| / ||b|| <= tol`` (1e-12 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class CGResult:
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list[float]
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_history[-1] if self.residual_history else np.inf
+
+
+def cg(
+    matvec: Operator,
+    b: np.ndarray,
+    *,
+    preconditioner: Operator | None = None,
+    tol: float = 1e-12,
+    maxiter: int = 10_000,
+    x0: np.ndarray | None = None,
+) -> CGResult:
+    """Preconditioned CG on ``A x = b``.
+
+    ``matvec`` applies ``A``; ``preconditioner`` applies ``M^{-1}``.
+    The residual history stores ``||b - A x_k|| / ||b||`` per iteration
+    (the true residual is recomputed from the recurrence residual, not
+    re-evaluated, as is standard).
+    """
+    b = np.asarray(b)
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return CGResult(np.zeros_like(b), 0, True, [0.0])
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0).copy()
+    r = b - matvec(x) if x0 is not None else b.copy()
+    history = [float(np.linalg.norm(r)) / bnorm]
+    if history[0] <= tol:
+        return CGResult(x, 0, True, history)
+    z = preconditioner(r) if preconditioner is not None else r
+    p = z.copy()
+    rz = np.vdot(r, z)
+    for k in range(1, maxiter + 1):
+        ap = matvec(p)
+        denom = np.vdot(p, ap)
+        if denom == 0:
+            return CGResult(x, k - 1, False, history)
+        alpha = rz / denom
+        x = x + alpha * p
+        r = r - alpha * ap
+        res = float(np.linalg.norm(r)) / bnorm
+        history.append(res)
+        if res <= tol:
+            return CGResult(x, k, True, history)
+        z = preconditioner(r) if preconditioner is not None else r
+        rz_new = np.vdot(r, z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    return CGResult(x, maxiter, False, history)

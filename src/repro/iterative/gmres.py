@@ -1,0 +1,125 @@
+"""Restarted GMRES with optional right preconditioning.
+
+The paper solves the indefinite complex Helmholtz systems with GMRES
+(restart = 20 for the unpreconditioned Table V baseline) and uses the
+RS-S factorization as the preconditioner otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class GMRESResult:
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list[float]
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_history[-1] if self.residual_history else np.inf
+
+
+def gmres(
+    matvec: Operator,
+    b: np.ndarray,
+    *,
+    preconditioner: Operator | None = None,
+    tol: float = 1e-12,
+    restart: int = 20,
+    maxiter: int = 10_000,
+    x0: np.ndarray | None = None,
+) -> GMRESResult:
+    """Right-preconditioned restarted GMRES on ``A x = b``.
+
+    With right preconditioning the solver iterates on
+    ``A M^{-1} y = b``, ``x = M^{-1} y``, so the reported residual is
+    the *true* residual of the original system. ``iterations`` counts
+    total inner iterations (matvec count), matching the paper's ``nit``.
+    """
+    b = np.asarray(b)
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return GMRESResult(np.zeros_like(b), 0, True, [0.0])
+    if restart <= 0:
+        raise ValueError(f"restart must be positive, got {restart}")
+    dtype = np.result_type(b.dtype, np.float64)
+    x = np.zeros_like(b, dtype=dtype) if x0 is None else np.asarray(x0).astype(dtype)
+
+    total_iters = 0
+    history: list[float] = []
+    while True:
+        r = b - matvec(x)
+        beta = float(np.linalg.norm(r))
+        history.append(beta / bnorm)
+        if beta / bnorm <= tol or total_iters >= maxiter:
+            return GMRESResult(x, total_iters, beta / bnorm <= tol, history)
+
+        # Arnoldi process
+        mdim = min(restart, maxiter - total_iters)
+        basis = np.empty((b.shape[0], mdim + 1), dtype=dtype)
+        hess = np.zeros((mdim + 1, mdim), dtype=dtype)
+        basis[:, 0] = r / beta
+        # Givens rotations for the least-squares problem
+        cs = np.zeros(mdim, dtype=dtype)
+        sn = np.zeros(mdim, dtype=dtype)
+        g = np.zeros(mdim + 1, dtype=dtype)
+        g[0] = beta
+        inner_used = 0
+        for j in range(mdim):
+            v = basis[:, j]
+            w = matvec(preconditioner(v) if preconditioner is not None else v)
+            # modified Gram-Schmidt
+            for i in range(j + 1):
+                hess[i, j] = np.vdot(basis[:, i], w)
+                w = w - hess[i, j] * basis[:, i]
+            hess[j + 1, j] = np.linalg.norm(w)
+            if hess[j + 1, j] > 0:
+                basis[:, j + 1] = w / hess[j + 1, j]
+            # apply previous rotations (c real, G = [[c, s], [-conj(s), c]])
+            for i in range(j):
+                temp = cs[i] * hess[i, j] + sn[i] * hess[i + 1, j]
+                hess[i + 1, j] = -np.conj(sn[i]) * hess[i, j] + cs[i] * hess[i + 1, j]
+                hess[i, j] = temp
+            # new rotation annihilating hess[j+1, j]:
+            # c = |a| / r (real), s = (a / |a|) conj(b) / r, r = sqrt(|a|^2 + |b|^2)
+            a, bb = hess[j, j], hess[j + 1, j]
+            r_abs = np.sqrt(abs(a) ** 2 + abs(bb) ** 2)
+            if r_abs == 0:
+                cs[j], sn[j] = 1.0, 0.0
+            elif abs(a) == 0:
+                cs[j], sn[j] = 0.0, np.conj(bb) / abs(bb)
+            else:
+                cs[j] = abs(a) / r_abs
+                sn[j] = (a / abs(a)) * np.conj(bb) / r_abs
+            temp = cs[j] * g[j]
+            g[j + 1] = -np.conj(sn[j]) * g[j]
+            g[j] = temp
+            hess[j, j] = cs[j] * a + sn[j] * bb
+            hess[j + 1, j] = 0.0
+            inner_used = j + 1
+            total_iters += 1
+            rel = abs(g[j + 1]) / bnorm
+            history.append(float(rel))
+            if rel <= tol:
+                break
+        # solve the triangular system and update x
+        k = inner_used
+        if k > 0:
+            y = np.linalg.solve(hess[:k, :k], g[:k])
+            update = basis[:, :k] @ y
+            if preconditioner is not None:
+                update = preconditioner(update)
+            x = x + update
+        if total_iters >= maxiter:
+            r = b - matvec(x)
+            rel = float(np.linalg.norm(r)) / bnorm
+            history.append(rel)
+            return GMRESResult(x, total_iters, rel <= tol, history)

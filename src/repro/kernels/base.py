@@ -1,0 +1,132 @@
+"""Kernel-matrix protocol shared by all kernels.
+
+Every kernel matrix in this package has the factored form
+
+    A[i, j] = row_w[i] * g(x_i, x_j) * col_w[j]      for i != j
+    A[i, i] = diagonal()[i]                          (singular self term)
+
+where ``g`` is the (translation-invariant) Green's function and the
+row/column weights carry the quadrature weight ``h^2`` and any variable
+coefficient (e.g. ``kappa^2 sqrt(b_i b_j)`` for Lippmann–Schwinger).
+
+The split matters for proxy compression: the column space of
+``A[F, B]`` equals the column space of ``g(x_F, x_B) @ diag(col_w[B])``
+because the far-field row scaling ``diag(row_w[F])`` is nonsingular, so
+the proxy surrogate only needs the *B-side* weights (see
+``proxy_row_block`` / ``proxy_col_block``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class KernelMatrix(ABC):
+    """Dense kernel matrix ``A`` over a fixed planar point set."""
+
+    #: point coordinates, shape (N, 2)
+    points: np.ndarray
+    #: numpy dtype of matrix entries
+    dtype: np.dtype
+
+    @abstractmethod
+    def greens(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Raw Green's function matrix ``g(x_i, y_j)``, shape (len(x), len(y)).
+
+        ``g`` must be finite for distinct arguments; entries with
+        coincident arguments may be arbitrary (callers mask them).
+        """
+
+    @abstractmethod
+    def diagonal(self) -> np.ndarray:
+        """Singular self-interaction entries ``A[i, i]``, shape (N,)."""
+
+    def row_weights(self, index: np.ndarray) -> np.ndarray:
+        """Row scaling ``row_w[index]``; default all-ones."""
+        return np.ones(len(index), dtype=self.dtype)
+
+    def col_weights(self, index: np.ndarray) -> np.ndarray:
+        """Column scaling ``col_w[index]``; default all-ones."""
+        return np.ones(len(index), dtype=self.dtype)
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def is_translation_invariant(self) -> bool:
+        """True when ``g(x, y)`` depends only on ``x - y`` (enables FFT matvec)."""
+        return True
+
+    # ------------------------------------------------------------------
+    # distributed support: ranks only know a subset of the points
+    # ------------------------------------------------------------------
+    def per_point_data(self, index: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-point auxiliary data (e.g. the scattering potential) for a subset.
+
+        This is what a rank must *communicate* alongside coordinates so
+        a remote rank can evaluate kernel entries involving its points.
+        """
+        return {}
+
+    def spawn(self, points: np.ndarray, data: dict[str, np.ndarray]) -> "KernelMatrix":
+        """Rebuild the same kernel over a different point set.
+
+        Used by the distributed workers: a rank reconstructs a local
+        kernel from the coordinates (+ ``per_point_data``) it received.
+        Scalar parameters (``h``, ``kappa``, …) are program constants
+        shared by all ranks.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support spawn()")
+
+    # ------------------------------------------------------------------
+    # assembled blocks
+    # ------------------------------------------------------------------
+    def block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Submatrix ``A[rows][:, cols]`` with correct diagonal entries."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.size == 0 or cols.size == 0:
+            return np.zeros((rows.size, cols.size), dtype=self.dtype)
+        same = rows[:, None] == cols[None, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g = self.greens(self.points[rows], self.points[cols])
+        blk = (
+            self.row_weights(rows)[:, None] * g * self.col_weights(cols)[None, :]
+        ).astype(self.dtype, copy=False)
+        if same.any():
+            d = self.diagonal()
+            ii, jj = np.nonzero(same)
+            blk[ii, jj] = d[rows[ii]]
+        return blk
+
+    def proxy_row_block(self, proxy_points: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Surrogate for the rows of ``A[F, cols]``: ``g(proxy, x_cols) diag(col_w)``."""
+        cols = np.asarray(cols, dtype=np.int64)
+        if proxy_points.shape[0] == 0 or cols.size == 0:
+            return np.zeros((proxy_points.shape[0], cols.size), dtype=self.dtype)
+        g = self.greens(proxy_points, self.points[cols])
+        return (g * self.col_weights(cols)[None, :]).astype(self.dtype, copy=False)
+
+    def proxy_col_block(self, rows: np.ndarray, proxy_points: np.ndarray) -> np.ndarray:
+        """Surrogate for the columns of ``A[rows, F]``: ``diag(row_w) g(x_rows, proxy)``."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if proxy_points.shape[0] == 0 or rows.size == 0:
+            return np.zeros((rows.size, proxy_points.shape[0]), dtype=self.dtype)
+        g = self.greens(self.points[rows], proxy_points)
+        return (self.row_weights(rows)[:, None] * g).astype(self.dtype, copy=False)
+
+
+def dense_matrix(kernel: KernelMatrix) -> np.ndarray:
+    """Assemble the full ``N x N`` matrix (testing / small problems only)."""
+    idx = np.arange(kernel.n, dtype=np.int64)
+    return kernel.block(idx, idx)
+
+
+def pairwise_distances(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between two planar point sets."""
+    dx = x[:, 0][:, None] - y[:, 0][None, :]
+    dy = x[:, 1][:, None] - y[:, 1][None, :]
+    return np.hypot(dx, dy)

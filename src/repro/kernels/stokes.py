@@ -1,0 +1,44 @@
+"""2D Stokeslet (vector-valued) kernel utilities.
+
+The paper's introduction motivates first-kind Fredholm equations for the
+Stokes equation; the scalar RS-S solver in this repository factors
+scalar kernels, so the Stokeslet is provided as a substrate (matrix
+assembly + FFT-compatible component split) and exercised by tests. Full
+multi-DOF skeletonization is a documented extension point.
+
+    G(x, y) = (1 / 4 pi) [ -ln r I + (x-y)(x-y)^T / r^2 ]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def stokeslet_matrix(x: np.ndarray, y: np.ndarray, *, viscosity: float = 1.0) -> np.ndarray:
+    """Dense 2D Stokeslet matrix, shape ``(2 len(x), 2 len(y))``.
+
+    Coincident points get zero blocks (self-interaction must be supplied
+    by the discretization, as for the scalar kernels).
+    """
+    x = np.atleast_2d(x)
+    y = np.atleast_2d(y)
+    dx = x[:, 0][:, None] - y[:, 0][None, :]
+    dy = x[:, 1][:, None] - y[:, 1][None, :]
+    r2 = dx * dx + dy * dy
+    coincident = r2 == 0.0
+    scale = 1.0 / (4.0 * np.pi * viscosity)
+    m, n = x.shape[0], y.shape[0]
+    out = np.zeros((2 * m, 2 * n))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lnr = 0.5 * np.log(r2)
+        inv_r2 = 1.0 / r2
+        gxx = scale * (-lnr + dx * dx * inv_r2)
+        gxy = scale * (dx * dy * inv_r2)
+        gyy = scale * (-lnr + dy * dy * inv_r2)
+    for g in (gxx, gxy, gyy):
+        g[coincident] = 0.0
+    out[0::2, 0::2] = gxx
+    out[0::2, 1::2] = gxy
+    out[1::2, 0::2] = gxy
+    out[1::2, 1::2] = gyy
+    return out

@@ -1,0 +1,6 @@
+"""Dense linear-algebra substrate: interpolative decomposition and LU helpers."""
+
+from repro.linalg.interpolative import InterpolativeDecomposition, interp_decomp
+from repro.linalg.lu import PartialLU
+
+__all__ = ["InterpolativeDecomposition", "interp_decomp", "PartialLU"]

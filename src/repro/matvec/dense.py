@@ -1,0 +1,41 @@
+"""Dense reference matvec (O(N^2) memory-free assembly in row chunks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelMatrix
+
+
+class DenseMatVec:
+    """Applies ``A`` by assembling row blocks on the fly.
+
+    Never stores the full matrix; memory is ``O(chunk * N)``. Used as
+    the exactness reference for :class:`repro.matvec.FFTMatVec` and for
+    small-problem residual checks on non-uniform clouds.
+    """
+
+    def __init__(self, kernel: KernelMatrix, *, chunk: int = 2048):
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        self.kernel = kernel
+        self.chunk = int(chunk)
+        self.shape = (kernel.n, kernel.n)
+        self.dtype = kernel.dtype
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        squeeze = x.ndim == 1
+        xm = x[:, None] if squeeze else x
+        n = self.kernel.n
+        if xm.shape[0] != n:
+            raise ValueError(f"dimension mismatch: A is {n}x{n}, x has {xm.shape[0]} rows")
+        out_dtype = np.result_type(self.dtype, xm.dtype)
+        out = np.empty((n, xm.shape[1]), dtype=out_dtype)
+        cols = np.arange(n, dtype=np.int64)
+        for start in range(0, n, self.chunk):
+            rows = np.arange(start, min(start + self.chunk, n), dtype=np.int64)
+            out[rows] = self.kernel.block(rows, cols) @ xm
+        return out[:, 0] if squeeze else out
+
+    __call__ = matvec

@@ -1,0 +1,148 @@
+"""User-facing driver for the distributed factorization.
+
+``parallel_srs_factor(kernel, p)`` launches the SPMD factorization on
+``p`` simulated ranks and returns a :class:`ParallelFactorization`;
+its ``solve`` runs the distributed sweeps and reports simulated timing
+(``t_fact``/``t_solve`` split into ``t_comp``/``t_other``) and
+communication counters, mirroring the paper's Tables II/IV/VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.options import SRSOptions
+from repro.core.stats import RankStats
+from repro.geometry.domain import Square
+from repro.kernels.base import KernelMatrix
+from repro.parallel.ownership import LevelLayout, max_ranks_for_tree
+from repro.parallel.solve import solve_worker
+from repro.parallel.worker import WorkerResult, factor_worker
+from repro.tree.quadtree import QuadTree
+from repro.vmpi.clock import CostModel
+from repro.vmpi.launcher import SPMDRun, run_spmd
+
+
+@dataclass
+class ParallelFactorization:
+    """Distributed RS-S factorization spread over ``p`` simulated ranks."""
+
+    p: int
+    n: int
+    nlevels: int
+    opts: SRSOptions
+    workers: list[WorkerResult]
+    factor_run: SPMDRun
+    cost_model: CostModel | None = None
+    last_solve_run: SPMDRun | None = None
+    _merged_stats: RankStats | None = field(default=None, repr=False)
+
+    # -- timing (simulated) ---------------------------------------------
+    @property
+    def t_fact(self) -> float:
+        return self.factor_run.elapsed
+
+    @property
+    def t_fact_comp(self) -> float:
+        return self.factor_run.compute
+
+    @property
+    def t_fact_other(self) -> float:
+        return self.factor_run.other
+
+    @property
+    def t_solve(self) -> float:
+        if self.last_solve_run is None:
+            raise RuntimeError("call solve() first")
+        return self.last_solve_run.elapsed
+
+    # -- results ----------------------------------------------------------
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Distributed application of the compressed inverse to ``b``."""
+        b = np.asarray(b)
+        if b.shape[0] != self.n:
+            raise ValueError(f"rhs has {b.shape[0]} rows, expected {self.n}")
+        run = run_spmd(
+            self.p, solve_worker, self.workers, self.n, b, cost_model=self.cost_model
+        )
+        self.last_solve_run = run
+        return run.results[0]
+
+    __call__ = solve
+
+    def eliminated_count(self) -> int:
+        return int(
+            sum(rec.redundant.size for w in self.workers for rec in w.records)
+        )
+
+    @property
+    def stats(self) -> RankStats:
+        """Skeleton-rank statistics merged across ranks (Fig. 9 data)."""
+        if self._merged_stats is None:
+            merged = RankStats()
+            for w in self.workers:
+                for lvl, ranks in w.stats.ranks.items():
+                    for r, s in zip(ranks, w.stats.box_sizes[lvl]):
+                        merged.record(lvl, s, r)
+            self._merged_stats = merged
+        return self._merged_stats
+
+    def memory_bytes(self) -> int:
+        return sum(rec.memory_bytes() for w in self.workers for rec in w.records)
+
+
+def parallel_srs_factor(
+    kernel: KernelMatrix,
+    p: int,
+    opts: SRSOptions | None = None,
+    *,
+    nlevels: int | None = None,
+    domain: Square | None = None,
+    cost_model: CostModel | None = None,
+) -> ParallelFactorization:
+    """Distributed-memory RS-S factorization on ``p`` simulated ranks.
+
+    ``p`` must be a power-of-two squared (1, 4, 16, 64, ...) and satisfy
+    ``p <= 4**(nlevels - 1)`` so every rank owns at least a 2x2 block of
+    leaf boxes.
+    """
+    opts = opts or SRSOptions()
+    domain = domain or Square()
+    if nlevels is None:
+        nlevels = QuadTree.for_leaf_size(kernel.points, opts.leaf_size, domain=domain).nlevels
+        # ensure every rank owns at least 2x2 leaves
+        import math
+
+        g = int(round(math.log(max(p, 1), 4)))
+        nlevels = max(nlevels, g + 1)
+    if p > max_ranks_for_tree(nlevels):
+        raise ValueError(
+            f"p={p} too large for nlevels={nlevels}: need p <= {max_ranks_for_tree(nlevels)}"
+        )
+    # validates p is a power-of-two squared
+    LevelLayout(nlevels, p).grid_side  # noqa: B018 - validation side effect
+
+    import math
+
+    if math.isqrt(p) ** 2 != p or (math.isqrt(p) & (math.isqrt(p) - 1)) != 0:
+        raise ValueError(f"p must be a power-of-two squared (1, 4, 16, ...), got {p}")
+
+    run = run_spmd(
+        p, factor_worker, kernel, nlevels, domain, opts, cost_model=cost_model
+    )
+    workers: list[WorkerResult] = run.results
+    fact = ParallelFactorization(
+        p=p,
+        n=kernel.n,
+        nlevels=nlevels,
+        opts=opts,
+        workers=workers,
+        factor_run=run,
+        cost_model=cost_model,
+    )
+    eliminated = fact.eliminated_count()
+    if eliminated != kernel.n:  # pragma: no cover - invariant
+        raise RuntimeError(f"eliminated {eliminated} of {kernel.n} indices")
+    return fact

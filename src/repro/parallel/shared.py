@@ -1,0 +1,154 @@
+"""Shared-memory (box-coloring) comparator solver — Table VI / Fig. 10.
+
+The paper compares its distributed solver against a C++/OpenMP
+shared-memory RS-S that follows Takahashi et al.: *all boxes* at a
+level are colored so adjacent boxes differ, and each color class is
+executed as a parallel task batch. We reproduce that *strategy* over
+the same sequential core: the factorization runs once, each box task's
+CPU time is measured, and the task batches are list-scheduled (LPT)
+onto ``nthreads`` simulated threads under the same cost model used by
+the distributed solver — so the two strategies are compared apples to
+apples, as in the paper.
+
+Box coloring: parity color ``(ix % 2) + 2 * (iy % 2)``; same-color
+boxes are >= 2 apart so their skeletonizations touch disjoint data (the
+shared-memory runtime synchronizes between color batches with a
+barrier, modeled by ``sync_overhead``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.factorization import (
+    SRSFactorization,
+    factor_level,
+    transition_to_parent,
+)
+from repro.core.interactions import Coord, InteractionStore
+from repro.core.options import SRSOptions
+from repro.kernels.base import KernelMatrix
+from repro.tree.quadtree import QuadTree
+
+
+def box_color(box: Coord) -> int:
+    return (box[0] % 2) + 2 * (box[1] % 2)
+
+
+def lpt_makespan(durations: list[float], nthreads: int) -> float:
+    """Longest-processing-time list-scheduling makespan on ``nthreads``."""
+    if not durations:
+        return 0.0
+    if nthreads <= 1:
+        return float(sum(durations))
+    loads = np.zeros(nthreads)
+    for d in sorted(durations, reverse=True):
+        loads[np.argmin(loads)] += d
+    return float(loads.max())
+
+
+@dataclass
+class SharedMemoryResult:
+    """Outcome of the shared-memory comparator."""
+
+    factorization: SRSFactorization
+    nthreads: int
+    t_fact: float
+    t_solve: float
+    sequential_t_fact: float
+    sequential_t_solve: float
+    per_level: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_t_fact / self.t_fact if self.t_fact else 1.0
+
+
+def shared_memory_factor(
+    kernel: KernelMatrix,
+    nthreads: int,
+    opts: SRSOptions | None = None,
+    *,
+    tree: QuadTree | None = None,
+    sync_overhead: float = 5.0e-6,
+    nrhs_probe: int = 1,
+) -> SharedMemoryResult:
+    """Factor with the box-coloring shared-memory strategy.
+
+    Returns the (numerically identical) factorization plus the
+    simulated ``t_fact``/``t_solve`` on ``nthreads`` threads.
+    """
+    if nthreads < 1:
+        raise ValueError(f"nthreads must be >= 1, got {nthreads}")
+    opts = opts or SRSOptions()
+    if tree is None:
+        tree = QuadTree.for_leaf_size(kernel.points, opts.leaf_size)
+
+    fact = SRSFactorization([], kernel.n, kernel.dtype, opts)
+    active = {c: tree.leaf_points(*c) for c in tree.nonempty_leaves()}
+    seed_blocks = None
+    task_times: list[tuple[int, Coord, float]] = []
+    seq_fact_time = 0.0
+
+    for level in range(tree.nlevels, 0, -1):
+        store = InteractionStore(kernel, active, blocks=seed_blocks, max_modified_distance=None)
+        t0 = time.perf_counter()
+        factor_level(fact, store, kernel, tree, level, opts, task_times=task_times)
+        seq_fact_time += time.perf_counter() - t0
+        if level > 1:
+            t0 = time.perf_counter()
+            active, seed_blocks = transition_to_parent(store, tree, level)
+            seq_fact_time += time.perf_counter() - t0
+
+    # --- schedule measured tasks: per level, per color batch, LPT ------
+    t_fact = 0.0
+    per_level: list[tuple[int, float]] = []
+    levels = sorted({lvl for lvl, _b, _d in task_times}, reverse=True)
+    for lvl in levels:
+        level_time = 0.0
+        for color in range(4):
+            batch = [d for (lv, b, d) in task_times if lv == lvl and box_color(b) == color]
+            if not batch:
+                continue
+            level_time += lpt_makespan(batch, nthreads) + sync_overhead
+        per_level.append((lvl, level_time))
+        t_fact += level_time
+
+    # --- solve: measure per-record apply times, schedule the same way --
+    rng = np.random.default_rng(0)
+    shape = (kernel.n,) if nrhs_probe == 1 else (kernel.n, nrhs_probe)
+    probe = rng.standard_normal(shape).astype(np.result_type(kernel.dtype, float))
+    x = probe.astype(np.result_type(kernel.dtype, probe.dtype), copy=True)
+    apply_times: dict[tuple[int, Coord], float] = {}
+    t0_all = time.perf_counter()
+    for rec in fact.records:
+        t0 = time.perf_counter()
+        rec.apply_v(x)
+        apply_times[(rec.level, rec.box)] = time.perf_counter() - t0
+    for rec in reversed(fact.records):
+        t0 = time.perf_counter()
+        rec.apply_w(x)
+        apply_times[(rec.level, rec.box)] += time.perf_counter() - t0
+    seq_solve_time = time.perf_counter() - t0_all
+
+    t_solve = 0.0
+    for lvl in levels:
+        for color in range(4):
+            batch = [
+                d for (lv, b), d in apply_times.items() if lv == lvl and box_color(b) == color
+            ]
+            if batch:
+                t_solve += lpt_makespan(batch, nthreads) + sync_overhead
+
+    return SharedMemoryResult(
+        factorization=fact,
+        nthreads=nthreads,
+        t_fact=t_fact,
+        t_solve=t_solve,
+        sequential_t_fact=seq_fact_time,
+        sequential_t_solve=seq_solve_time,
+        per_level=per_level,
+    )

@@ -1,0 +1,517 @@
+"""The distributed factorization worker (Algorithm 2 of the paper).
+
+Every rank executes :func:`factor_worker`. Per tree level:
+
+1. **Interior phase** — factor boxes whose neighbors are all local;
+   zero communication (Sec. III-A).
+2. **Interior-restriction exchange** — one message per neighbor with
+   the skeleton positions of interior boxes inside the neighbor's
+   distance-2 halo (neighbors hold read-only replicas of blocks
+   touching those boxes and must shrink them consistently).
+3. **Color loop** (Sec. III-B) — ranks of the current color factor
+   their boundary boxes, then send each neighbor the relevant store
+   mutations: ``restrict`` entries for boxes in the neighbor's halo and
+   additive Schur ``delta`` entries for block pairs the neighbor owns a
+   side of. Receivers replay the log in order.
+4. **Transition** (Sec. III-C) — 4-to-1 rank reduction once regions are
+   down to one parent box (retirees ship their surviving state to the
+   sibling-group leader), a halo refresh of skeleton coordinates among
+   the surviving ranks, and local re-assembly of parent-level blocks.
+
+All state a rank touches arrives either from the initial scatter or
+from neighbor messages — the :class:`~repro.parallel.localkernel.LocalKernel`
+raises if the protocol ever under-delivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.interactions import Coord, InteractionStore, PairKey
+from repro.core.options import SRSOptions
+from repro.core.proxy import proxy_points_for_box
+from repro.core.skel import BoxRecord, skeletonize_box
+from repro.core.stats import RankStats
+from repro.geometry.domain import Square
+from repro.geometry.morton import morton_encode
+from repro.kernels.base import KernelMatrix
+from repro.parallel.localkernel import LocalKernel
+from repro.parallel.ownership import LevelLayout
+from repro.tree.quadtree import QuadTree
+from repro.vmpi.comm import Comm
+
+
+# message tags: phase * 100000 + level * 16 + color
+def _tag(phase: int, level: int, color: int = 0) -> int:
+    return phase * 100_000 + level * 16 + color
+
+
+TAG_HALO = 1  # level-start halo refresh
+TAG_INTERIOR = 2  # interior-restriction exchange
+TAG_COLOR = 3  # boundary color rounds
+TAG_STRIP = 4  # pre-assembly skeleton/coordinate strip
+TAG_REDUCE = 5  # 4-to-1 rank reduction
+
+
+@dataclass
+class LevelPlan:
+    """Solve-phase replay information for one level on one rank."""
+
+    level: int
+    my_color: int
+    colors: list[int]
+    neighbor_ranks: list[int]
+    neighbor_colors: dict[int, int]
+    rec_interior: tuple[int, int]
+    rec_boundary: tuple[int, int]
+    #: own boxes' active point ids at level start (downward value refresh)
+    level_points: dict[Coord, np.ndarray]
+    #: set when a 4-to-1 reduction follows this level
+    reduction_after: bool = False
+    #: leader to ship to (if retiring) / retirees to absorb (if leading)
+    reduction_leader: int | None = None
+    reduction_sources: list[int] = field(default_factory=list)
+    retired_after: bool = False
+
+
+@dataclass
+class WorkerResult:
+    """Everything a rank keeps after the factorization."""
+
+    rank: int
+    records: list[BoxRecord]
+    plans: list[LevelPlan]
+    leaf_ids: np.ndarray
+    stats: RankStats
+    dtype: np.dtype
+
+
+def factor_worker(
+    comm: Comm,
+    kernel: KernelMatrix,
+    nlevels: int,
+    domain: Square,
+    opts: SRSOptions,
+) -> WorkerResult:
+    """SPMD entry point for the distributed factorization."""
+    p = comm.size
+    geometry = QuadTree(np.zeros((0, 2)), nlevels, domain=domain)
+    leaf_layout = LevelLayout(nlevels, p)
+
+    # ------------------------------------------------------------------
+    # setup: rank 0 scatters regions + distance-2 leaf halos
+    # ------------------------------------------------------------------
+    payloads = None
+    if comm.rank == 0:
+        tree = QuadTree(kernel.points, nlevels, domain=domain)
+        payloads = []
+        for r in range(p):
+            own = leaf_layout.owned_boxes(r)
+            halo = leaf_layout.halo_boxes(r, 2)
+            active = {b: tree.leaf_points(*b) for b in own + halo}
+            all_ids = (
+                np.concatenate([v for v in active.values() if v.size])
+                if active
+                else np.empty(0, dtype=np.int64)
+            )
+            all_ids = np.unique(all_ids)
+            payloads.append(
+                dict(
+                    own=own,
+                    active=active,
+                    ids=all_ids,
+                    coords=kernel.points[all_ids],
+                    per_point=kernel.per_point_data(all_ids),
+                )
+            )
+    payload = comm.scatter(payloads, 0)
+    local = LocalKernel(kernel, payload["ids"], payload["coords"], payload["per_point"])
+    active: dict[Coord, np.ndarray] = {
+        b: np.asarray(v, dtype=np.int64) for b, v in payload["active"].items()
+    }
+    own_boxes: list[Coord] = list(payload["own"])
+    leaf_ids = (
+        np.concatenate([active[b] for b in own_boxes if active[b].size])
+        if own_boxes
+        else np.empty(0, dtype=np.int64)
+    )
+
+    comm.barrier()
+    # exclude setup (point distribution) from t_fact and from the
+    # Sec. IV-B communication counters, as the paper does
+    comm.clock.local_time = 0.0
+    comm.clock.compute_time = 0.0
+    comm.clock.comm_time = 0.0
+    comm.counters.messages_sent = 0
+    comm.counters.bytes_sent = 0
+    comm.counters.messages_received = 0
+    comm.counters.bytes_received = 0
+
+    records: list[BoxRecord] = []
+    plans: list[LevelPlan] = []
+    stats = RankStats()
+    seed_blocks: dict[PairKey, np.ndarray] | None = None
+
+    for level in range(nlevels, 0, -1):
+        layout = LevelLayout(level, p)
+        if not layout.is_active(comm.rank):
+            break  # retired at an earlier transition
+
+        nbr_ranks = layout.neighbor_ranks(comm.rank)
+        my_color = layout.color(comm.rank)
+        colors = layout.colors_in_use()
+
+        # -- level-start halo refresh (width 2, current level units) ----
+        if level < nlevels:
+            _halo_refresh(comm, local, active, layout, own_boxes, nbr_ranks, level, width=2)
+
+        rank = comm.rank
+        store = InteractionStore(
+            local,
+            active,
+            blocks=seed_blocks,
+            max_modified_distance=None,
+            store_predicate=lambda bi, bj, _l=layout, _r=rank: (
+                _l.owner(bi) == _r or _l.owner(bj) == _r
+            ),
+        )
+        active = store.active  # single source of truth from here on
+
+        level_points = {b: store.active_of(b).copy() for b in own_boxes if b in store.active}
+        interior = [b for b in own_boxes if not layout.is_boundary(b, comm.rank)]
+        boundary = [b for b in own_boxes if layout.is_boundary(b, comm.rank)]
+
+        # -- phase 1: interior boxes ------------------------------------
+        i0 = len(records)
+        interior_log: list = []
+        with comm.clock.compute():
+            _factor_boxes(
+                records, stats, store, local, geometry, level, interior, opts, interior_log
+            )
+        i1 = len(records)
+
+        # -- phase 1.5: interior-restriction exchange --------------------
+        restricts = [op for op in interior_log if op[0] == "restrict"]
+        for w in nbr_ranks:
+            ops = [op for op in restricts if layout.region_distance(op[1], w) <= 2]
+            comm.send(ops, w, tag=_tag(TAG_INTERIOR, level))
+        for w in nbr_ranks:
+            ops = comm.recv(w, tag=_tag(TAG_INTERIOR, level))
+            with comm.clock.compute():
+                _apply_ops(store, ops, layout, comm.rank)
+
+        # -- phase 2: color loop over boundary boxes ---------------------
+        for color in colors:
+            if color == my_color:
+                log: list = []
+                with comm.clock.compute():
+                    _factor_boxes(
+                        records, stats, store, local, geometry, level, boundary, opts, log
+                    )
+                for w in nbr_ranks:
+                    comm.send(
+                        _filter_ops(log, w, layout), w, tag=_tag(TAG_COLOR, level, color)
+                    )
+            else:
+                for w in nbr_ranks:
+                    if layout.color(w) == color:
+                        ops = comm.recv(w, tag=_tag(TAG_COLOR, level, color))
+                        with comm.clock.compute():
+                            _apply_ops(store, ops, layout, comm.rank)
+        i2 = len(records)
+
+        plan = LevelPlan(
+            level=level,
+            my_color=my_color,
+            colors=colors,
+            neighbor_ranks=nbr_ranks,
+            neighbor_colors={w: layout.color(w) for w in nbr_ranks},
+            rec_interior=(i0, i1),
+            rec_boundary=(i1, i2),
+            level_points=level_points,
+        )
+        plans.append(plan)
+
+        if level == 1:
+            break
+
+        # -- transition ---------------------------------------------------
+        next_layout = LevelLayout(level - 1, p)
+        if next_layout.active < layout.active:
+            plan.reduction_after = True
+            if not next_layout.is_active(comm.rank):
+                leader = comm.rank - (comm.rank % next_layout.stride)
+                plan.retired_after = True
+                plan.reduction_leader = leader
+                known = local.known_ids
+                comm.send(
+                    dict(
+                        own=own_boxes,
+                        active={b: store.active_of(b) for b in store.active},
+                        blocks=store.blocks,
+                        ids=known,
+                        coords=local.coords_of(known),
+                        per_point=local.per_point_of(known),
+                    ),
+                    leader,
+                    tag=_tag(TAG_REDUCE, level),
+                )
+                break  # this rank is done factoring
+            # leader absorbs its three sibling retirees
+            retirees = [
+                comm.rank + k * layout.stride
+                for k in range(1, 4)
+                if layout.is_active(comm.rank + k * layout.stride)
+            ]
+            plan.reduction_sources = retirees
+            for src in retirees:
+                ship = comm.recv(src, tag=_tag(TAG_REDUCE, level))
+                with comm.clock.compute():
+                    own_boxes = own_boxes + list(ship["own"])
+                    local.extend(ship["ids"], ship["coords"], ship["per_point"])
+                    for b, ids in ship["active"].items():
+                        store.active[b] = np.asarray(ids, dtype=np.int64)
+                    for key, blk in ship["blocks"].items():
+                        if key not in store.blocks:
+                            store.set(key[0], key[1], blk)
+            own_boxes.sort(key=lambda c: morton_encode(c[0], c[1]))
+            active = store.active
+
+        # -- pre-assembly strip refresh (width 3, child units) ------------
+        _strip_refresh(
+            comm, local, store, next_layout, own_boxes, level, width=3
+        )
+
+        # -- parent assembly ----------------------------------------------
+        with comm.clock.compute():
+            active, seed_blocks, own_boxes = _assemble_parent(
+                store, geometry, level, own_boxes
+            )
+
+    return WorkerResult(
+        rank=comm.rank,
+        records=records,
+        plans=plans,
+        leaf_ids=leaf_ids,
+        stats=stats,
+        dtype=np.dtype(local.dtype),
+    )
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _factor_boxes(
+    records: list[BoxRecord],
+    stats: RankStats,
+    store: InteractionStore,
+    local: LocalKernel,
+    geometry: QuadTree,
+    level: int,
+    boxes: list[Coord],
+    opts: SRSOptions,
+    update_log: list,
+) -> None:
+    has_far_field = geometry.nside(level) >= 4
+    side = geometry.box_side(level)
+    for box in boxes:
+        if box not in store.active:
+            continue
+        nbrs = geometry.neighbors(level, *box)
+        m_boxes = geometry.dist2_neighbors(level, *box) if has_far_field else []
+        proxy = (
+            proxy_points_for_box(local, geometry.box_center(level, *box), side, opts)
+            if has_far_field
+            else None
+        )
+        size_before = store.nactive(box)
+        rec = skeletonize_box(
+            store, local, box, nbrs, m_boxes, proxy, opts, level=level, update_log=update_log
+        )
+        if rec is None:
+            continue
+        stats.record(level, size_before, rec.rank)
+        records.append(rec)
+
+
+def _filter_ops(log: list, w: int, layout: LevelLayout) -> list:
+    """Entries of an update log relevant to neighbor rank ``w``."""
+    out = []
+    for op in log:
+        if op[0] == "restrict":
+            if layout.region_distance(op[1], w) <= 2:
+                out.append(op)
+        else:
+            _, bi, bj, _d = op
+            if layout.owner(bi) == w or layout.owner(bj) == w:
+                out.append(op)
+    return out
+
+
+def _apply_ops(store: InteractionStore, ops: list, layout: LevelLayout, rank: int) -> None:
+    """Replay a neighbor's update log on the local store."""
+    for op in ops:
+        if op[0] == "restrict":
+            _, box, keep = op
+            if box in store.active:
+                store.restrict(box, keep)
+        else:
+            _, bi, bj, delta = op
+            if bi not in store.active or bj not in store.active:
+                continue
+            if layout.owner(bi) != rank and layout.owner(bj) != rank:
+                continue
+            blk = store.get_writable(bi, bj)
+            if blk.shape != delta.shape:  # pragma: no cover - protocol bug guard
+                raise RuntimeError(
+                    f"rank {rank}: delta shape mismatch for {bi} x {bj}: "
+                    f"{blk.shape} vs {delta.shape}"
+                )
+            blk -= delta
+
+
+def _halo_refresh(
+    comm: Comm,
+    local: LocalKernel,
+    active: dict[Coord, np.ndarray],
+    layout: LevelLayout,
+    own_boxes: list[Coord],
+    nbr_ranks: list[int],
+    level: int,
+    *,
+    width: int,
+) -> None:
+    """Exchange (ids, coords, per-point) of own boxes in neighbors' halos.
+
+    Also prunes halo entries of the previous level from ``active`` —
+    after this call ``active`` holds exactly own boxes plus the
+    refreshed distance-``width`` halo.
+    """
+    own_set = set(own_boxes)
+    for w in nbr_ranks:
+        boxes = [b for b in own_boxes if layout.region_distance(b, w) <= width]
+        msg = {}
+        for b in boxes:
+            ids = active.get(b)
+            if ids is None or ids.size == 0:
+                msg[b] = (np.empty(0, dtype=np.int64), np.empty((0, 2)), {})
+            else:
+                msg[b] = (ids, local.coords_of(ids), local.per_point_of(ids))
+        comm.send(msg, w, tag=_tag(TAG_HALO, level))
+    # drop stale halo knowledge, keep own boxes
+    for b in list(active):
+        if b not in own_set:
+            del active[b]
+    for w in nbr_ranks:
+        msg = comm.recv(w, tag=_tag(TAG_HALO, level))
+        for b, (ids, coords, per_point) in msg.items():
+            active[b] = np.asarray(ids, dtype=np.int64)
+            if len(ids):
+                local.extend(ids, coords, per_point)
+
+
+def _strip_refresh(
+    comm: Comm,
+    local: LocalKernel,
+    store: InteractionStore,
+    next_layout: LevelLayout,
+    own_boxes: list[Coord],
+    level: int,
+    *,
+    width: int,
+) -> None:
+    """Pre-assembly exchange: child-level skeleton data within ``width``
+    of each (next-level) neighbor's merged region."""
+    me = comm.rank
+    nbrs = next_layout.neighbor_ranks(me)
+    for w in nbrs:
+        x0, y0, x1, y1 = next_layout.region_bounds(w)
+        # scale parent-level bounds to child-level box units
+        cx0, cy0, cx1, cy1 = 2 * x0, 2 * y0, 2 * x1, 2 * y1
+        msg = {}
+        for b in own_boxes:
+            dx = max(cx0 - b[0], 0, b[0] - (cx1 - 1))
+            dy = max(cy0 - b[1], 0, b[1] - (cy1 - 1))
+            if max(dx, dy) > width:
+                continue
+            ids = store.active.get(b)
+            if ids is None:
+                continue
+            if ids.size == 0:
+                msg[b] = (np.empty(0, dtype=np.int64), np.empty((0, 2)), {})
+            else:
+                msg[b] = (ids, local.coords_of(ids), local.per_point_of(ids))
+        comm.send(msg, w, tag=_tag(TAG_STRIP, level))
+    for w in nbrs:
+        msg = comm.recv(w, tag=_tag(TAG_STRIP, level))
+        for b, (ids, coords, per_point) in msg.items():
+            store.active[b] = np.asarray(ids, dtype=np.int64)
+            if len(ids):
+                local.extend(ids, coords, per_point)
+
+
+def _assemble_parent(
+    store: InteractionStore,
+    geometry: QuadTree,
+    level: int,
+    own_boxes: list[Coord],
+) -> tuple[dict[Coord, np.ndarray], dict[PairKey, np.ndarray], list[Coord]]:
+    """Regroup surviving skeletons under parents and assemble near blocks.
+
+    Assembles every parent pair ``(P, Q)`` with Chebyshev distance <= 1
+    where at least one side is owned; child sub-blocks come from the
+    store (modified or replicated) or fall back to kernel evaluation —
+    legal because child pairs at distance >= 3 are untouched (Thm. 2).
+    """
+    parent_level = level - 1
+    parent_own = sorted(
+        {(b[0] >> 1, b[1] >> 1) for b in own_boxes},
+        key=lambda c: morton_encode(c[0], c[1]),
+    )
+    own_set = set(parent_own)
+    nside = 1 << parent_level
+
+    def children_of(parent: Coord) -> list[Coord]:
+        kids = geometry.children(parent_level, *parent)
+        return [c for c in kids if c in store.active and store.active[c].size > 0]
+
+    # parent actives for own and near-known parents
+    parent_active: dict[Coord, np.ndarray] = {}
+    candidates: set[Coord] = set(parent_own)
+    for pxy in parent_own:
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                q = (pxy[0] + dx, pxy[1] + dy)
+                if 0 <= q[0] < nside and 0 <= q[1] < nside:
+                    candidates.add(q)
+    for parent in candidates:
+        kids = children_of(parent)
+        if not kids:
+            continue
+        parent_active[parent] = np.concatenate([store.active[c] for c in kids])
+
+    blocks: dict[PairKey, np.ndarray] = {}
+    for p1 in parent_own:
+        if p1 not in parent_active:
+            continue
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                p2 = (p1[0] + dx, p1[1] + dy)
+                if p2 not in parent_active:
+                    continue
+                for key in ((p1, p2), (p2, p1)):
+                    if key in blocks:
+                        continue
+                    c1s = children_of(key[0])
+                    c2s = children_of(key[1])
+                    rows = [
+                        np.hstack([store.get(c1, c2) for c2 in c2s]) for c1 in c1s
+                    ]
+                    blocks[key] = np.vstack(rows)
+
+    # next level's active map: own parents only (halo refilled by the
+    # level-start halo refresh at the parent level)
+    next_active = {pxy: parent_active[pxy] for pxy in parent_own if pxy in parent_active}
+    return next_active, blocks, parent_own

@@ -1,0 +1,13 @@
+"""Paper-style table/figure output for the benchmark harness."""
+
+from repro.reporting.tables import Table, format_seconds, format_sci
+from repro.reporting.figures import ScalingSeries, ascii_loglog, write_pgm
+
+__all__ = [
+    "Table",
+    "format_seconds",
+    "format_sci",
+    "ScalingSeries",
+    "ascii_loglog",
+    "write_pgm",
+]

@@ -1,0 +1,86 @@
+"""Figure substitutes: scaling series, ASCII log-log plots, PGM images.
+
+The environment has no plotting stack, so figures are regenerated as
+(a) the underlying data series printed in tabular form, (b) a quick
+ASCII log-log rendering for visual shape checks, and (c) grayscale PGM
+images for the field plots of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ScalingSeries:
+    """One curve of a scaling figure: time vs number of processes."""
+
+    label: str
+    p_values: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    def add(self, p: int, t: float) -> None:
+        self.p_values.append(p)
+        self.times.append(t)
+
+    def speedups(self) -> list[float]:
+        if not self.times:
+            return []
+        t0 = self.times[0] * self.p_values[0]
+        return [t0 / (t * 1.0) for t in self.times]
+
+    def parallel_efficiency(self) -> list[float]:
+        """Speedup / ideal-speedup relative to the first point."""
+        if not self.times:
+            return []
+        p0, t0 = self.p_values[0], self.times[0]
+        return [(t0 * p0) / (t * p) for p, t in zip(self.p_values, self.times)]
+
+
+def ascii_loglog(
+    series: list[ScalingSeries],
+    *,
+    width: int = 60,
+    height: int = 18,
+    xlabel: str = "processes",
+    ylabel: str = "time (s)",
+) -> str:
+    """Rough ASCII log-log plot of several scaling curves."""
+    pts = [
+        (p, t, i)
+        for i, s in enumerate(series)
+        for p, t in zip(s.p_values, s.times)
+        if p > 0 and t > 0
+    ]
+    if not pts:
+        return "(no data)"
+    lx = np.log10([p for p, _t, _i in pts])
+    ly = np.log10([t for _p, t, _i in pts])
+    x0, x1 = lx.min(), lx.max() or 1e-9
+    y0, y1 = ly.min(), ly.max()
+    x1 = x1 if x1 > x0 else x0 + 1
+    y1 = y1 if y1 > y0 else y0 + 1
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for (p, t, i), gx, gy in zip(pts, lx, ly):
+        cx = int((gx - x0) / (x1 - x0) * (width - 1))
+        cy = int((gy - y0) / (y1 - y0) * (height - 1))
+        canvas[height - 1 - cy][cx] = markers[i % len(markers)]
+    lines = ["".join(row) for row in canvas]
+    legend = "  ".join(f"{markers[i % len(markers)]}={s.label}" for i, s in enumerate(series))
+    return "\n".join(lines + [f"x: log10 {xlabel}, y: log10 {ylabel}", legend])
+
+
+def write_pgm(path: str, image: np.ndarray) -> None:
+    """Write a 2D array as an 8-bit grayscale PGM (no deps needed)."""
+    img = np.asarray(image, dtype=float)
+    if img.ndim != 2:
+        raise ValueError(f"expected a 2D image, got shape {img.shape}")
+    lo, hi = float(img.min()), float(img.max())
+    scale = 255.0 / (hi - lo) if hi > lo else 0.0
+    data = ((img - lo) * scale).astype(np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P5 {img.shape[1]} {img.shape[0]} 255\n".encode())
+        fh.write(data.tobytes())

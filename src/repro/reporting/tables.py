@@ -1,0 +1,52 @@
+"""Minimal fixed-width table printer matching the paper's row layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_seconds(t: float) -> str:
+    """Compact seconds formatting (3 significant-ish digits)."""
+    if t == 0:
+        return "0"
+    if t >= 100:
+        return f"{t:.0f}"
+    if t >= 1:
+        return f"{t:.2f}"
+    return f"{t:.3f}"
+
+
+def format_sci(x: float) -> str:
+    """Paper-style ``1.11e-4`` scientific formatting."""
+    return f"{x:.2e}"
+
+
+@dataclass
+class Table:
+    """Accumulates rows and prints a fixed-width table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[j]), *(len(r[j]) for r in self.rows)) if self.rows else len(self.columns[j])
+            for j in range(len(self.columns))
+        ]
+        lines = [self.title, "-" * (sum(widths) + 3 * len(widths))]
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(self.columns, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for r in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n", flush=True)

@@ -1,0 +1,171 @@
+"""Adaptive (pointer-based) quadtree for non-uniform point clouds.
+
+The paper's algorithm is presented for uniformly distributed points and
+a perfect quadtree; extensions to non-uniform distributions are noted
+as "straightforward but quite tedious" (Sec. II-A, citing [1], [44]).
+This module provides that substrate: an adaptive quadtree that refines
+only where points are, with same-level neighbor queries computed by the
+standard parent-neighbor traversal. The factorization in
+:mod:`repro.core` consumes the perfect tree; the adaptive tree is
+exercised by tests and by the non-uniform example as the documented
+extension point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.domain import Square
+
+
+@dataclass
+class AdaptiveNode:
+    """A node of the adaptive quadtree."""
+
+    square: Square
+    level: int
+    index: np.ndarray  # point indices owned by this subtree
+    parent: "AdaptiveNode | None" = None
+    children: list["AdaptiveNode"] = field(default_factory=list)
+    id: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.square.center
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AdaptiveNode(level={self.level}, n={self.index.size}, leaf={self.is_leaf})"
+
+
+class AdaptiveQuadTree:
+    """Adaptive quadtree refined until leaves hold <= ``leaf_size`` points.
+
+    Empty children are pruned. Neighbor queries return same-level nodes
+    that are geometrically adjacent (share a boundary point), matching
+    the perfect-tree definition of ``N(B)`` when the cloud is uniform.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        *,
+        leaf_size: int = 64,
+        max_levels: int = 20,
+        domain: Square | None = None,
+    ):
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != 2:
+            raise ValueError(f"points must be (N, 2), got {points.shape}")
+        if leaf_size <= 0:
+            raise ValueError("leaf_size must be positive")
+        self.points = points
+        self.leaf_size = leaf_size
+        self.domain = domain or Square.bounding(points)
+        root_index = np.arange(points.shape[0], dtype=np.int64)
+        self.root = AdaptiveNode(self.domain, 0, root_index)
+        self.levels: list[list[AdaptiveNode]] = [[self.root]]
+        self._build(max_levels)
+        self._assign_ids()
+
+    def _build(self, max_levels: int) -> None:
+        frontier = [self.root]
+        level = 0
+        while frontier and level < max_levels:
+            next_frontier: list[AdaptiveNode] = []
+            for node in frontier:
+                if node.index.size <= self.leaf_size:
+                    continue
+                pts = self.points[node.index]
+                cx, cy = node.square.center
+                quadrant = (pts[:, 0] >= cx).astype(int) * 2 + (pts[:, 1] >= cy).astype(int)
+                squares = node.square.subdivide()  # SW, SE, NW, NE
+                # subdivide() order: SW, SE, NW, NE -> quadrant ids 0, 2, 1, 3
+                quad_of_square = [0, 2, 1, 3]
+                for sq, q in zip(squares, quad_of_square):
+                    sel = node.index[quadrant == q]
+                    if sel.size == 0:
+                        continue
+                    child = AdaptiveNode(sq, node.level + 1, sel, parent=node)
+                    node.children.append(child)
+                    next_frontier.append(child)
+            if next_frontier:
+                self.levels.append(next_frontier)
+            frontier = next_frontier
+            level += 1
+        if frontier and level >= max_levels:  # pragma: no cover - pathological input
+            raise RuntimeError("adaptive tree exceeded max_levels; duplicate points?")
+
+    def _assign_ids(self) -> None:
+        nid = 0
+        for nodes in self.levels:
+            for node in nodes:
+                node.id = nid
+                nid += 1
+        self.nnodes = nid
+
+    @property
+    def nlevels(self) -> int:
+        return len(self.levels)
+
+    def leaves(self) -> list[AdaptiveNode]:
+        return [n for nodes in self.levels for n in nodes if n.is_leaf]
+
+    def neighbors(self, node: AdaptiveNode) -> list[AdaptiveNode]:
+        """Same-level nodes adjacent to ``node`` (excluding itself).
+
+        Found by walking the parent's neighbors' children — the classic
+        FMM adjacency construction for adaptive trees.
+        """
+        if node.parent is None:
+            return []
+        candidates: list[AdaptiveNode] = []
+        for up in self.neighbors(node.parent) + [node.parent]:
+            candidates.extend(up.children)
+        side = node.square.size
+        out = []
+        for cand in candidates:
+            if cand is node:
+                continue
+            delta = np.abs(cand.center - node.center)
+            if max(delta) <= side * (1 + 1e-12):
+                out.append(cand)
+        return out
+
+    def dist2_neighbors(self, node: AdaptiveNode) -> list[AdaptiveNode]:
+        """Same-level nodes at Chebyshev distance exactly 2 box-sides."""
+        if node.parent is None:
+            return []
+        candidates: list[AdaptiveNode] = []
+        seen = {node.id}
+        for up in self.neighbors(node.parent) + [node.parent]:
+            for cand in up.children:
+                if cand.id not in seen:
+                    seen.add(cand.id)
+                    candidates.append(cand)
+        # also children of parent's dist-2 neighbors may be dist-2 from node
+        for up in self.dist2_neighbors(node.parent):
+            for cand in up.children:
+                if cand.id not in seen:
+                    seen.add(cand.id)
+                    candidates.append(cand)
+        side = node.square.size
+        out = []
+        for cand in candidates:
+            delta = np.abs(cand.center - node.center)
+            d = max(delta) / side
+            if 1.5 < d <= 2.5 + 1e-12:
+                out.append(cand)
+        return out
+
+    def check_partition(self) -> bool:
+        """Every point belongs to exactly one leaf."""
+        count = np.zeros(self.points.shape[0], dtype=int)
+        for leaf in self.leaves():
+            count[leaf.index] += 1
+        return bool(np.all(count == 1))

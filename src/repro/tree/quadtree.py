@@ -1,0 +1,201 @@
+"""Perfect quadtree over a square domain (Sec. II-A of the paper).
+
+The tree is *implicit*: level ``ell`` is a ``2^ell x 2^ell`` grid of
+equal boxes, the root is level 0 and leaves live at level ``L``
+(the paper numbers levels from 1; our level ``ell`` is their
+``ell + 1``). Boxes are addressed by integer grid coordinates
+``(ix, iy)`` within a level; all structural queries (children, parent,
+neighbors ``N(B)``, distance-2 neighbors ``M(B)``) are O(1) index
+arithmetic, so nothing tree-shaped is ever stored except the
+point-to-leaf assignment.
+
+Conventions
+-----------
+* ``N(B)`` — boxes at the same level with Chebyshev grid distance 1.
+* ``M(B)`` — Chebyshev grid distance exactly 2 (Definition 2).
+* far field ``F(B)`` — distance >= 2 (so ``M(B)`` is the inner ring of
+  the far field).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.geometry.domain import Square
+from repro.geometry.morton import morton_encode
+
+
+Coord = tuple[int, int]
+
+
+class QuadTree:
+    """Perfect quadtree with point-to-leaf assignment.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 2)`` array of point coordinates inside ``domain``.
+    nlevels:
+        Leaf level ``L`` (so there are ``4**L`` leaves). Must be >= 2
+        for the factorization to have a nonempty far field anywhere.
+    domain:
+        The root square; defaults to the unit square.
+    """
+
+    def __init__(self, points: np.ndarray, nlevels: int, *, domain: Square | None = None):
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must be (N, 2), got {points.shape}")
+        if nlevels < 0:
+            raise ValueError(f"nlevels must be >= 0, got {nlevels}")
+        self.domain = domain or Square()
+        if not bool(np.all(self.domain.contains(points, tol=1e-12 * self.domain.size))):
+            raise ValueError("points must lie inside the tree domain")
+        self.points = points
+        self.nlevels = int(nlevels)
+        self.N = points.shape[0]
+
+        nside = self.nside(self.nlevels)
+        h = self.domain.size / nside
+        ix = np.clip(((points[:, 0] - self.domain.x0) / h).astype(np.int64), 0, nside - 1)
+        iy = np.clip(((points[:, 1] - self.domain.y0) / h).astype(np.int64), 0, nside - 1)
+        self._leaf_coord = np.column_stack([ix, iy])
+        codes = morton_encode(ix, iy)
+        order = np.argsort(codes, kind="stable")
+        self._point_order = order
+        # bucket point indices per leaf, keyed by (ix, iy)
+        self._leaf_points: dict[Coord, np.ndarray] = {}
+        sorted_codes = codes[order]
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        for chunk in np.split(order, boundaries):
+            if chunk.size:
+                c = (int(ix[chunk[0]]), int(iy[chunk[0]]))
+                self._leaf_points[c] = chunk
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_leaf_size(
+        cls, points: np.ndarray, leaf_size: int, *, domain: Square | None = None, min_levels: int = 2
+    ) -> "QuadTree":
+        """Choose the leaf level so leaves hold about ``leaf_size`` points."""
+        if leaf_size <= 0:
+            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+        n = np.atleast_2d(points).shape[0]
+        nlevels = max(min_levels, int(np.ceil(np.log(max(n, 1) / leaf_size) / np.log(4.0))))
+        return cls(points, nlevels, domain=domain)
+
+    @staticmethod
+    def nside(level: int) -> int:
+        """Number of boxes per side at ``level``."""
+        return 1 << level
+
+    def nboxes(self, level: int) -> int:
+        return self.nside(level) ** 2
+
+    def box_side(self, level: int) -> float:
+        """Geometric side length of boxes at ``level``."""
+        return self.domain.size / self.nside(level)
+
+    def box_center(self, level: int, ix: int, iy: int) -> np.ndarray:
+        side = self.box_side(level)
+        return np.array(
+            [self.domain.x0 + (ix + 0.5) * side, self.domain.y0 + (iy + 0.5) * side]
+        )
+
+    def boxes(self, level: int) -> list[Coord]:
+        """All boxes at ``level`` in Morton order."""
+        return _boxes_in_morton_order(level)
+
+    def parent(self, level: int, ix: int, iy: int) -> Coord:
+        if level == 0:
+            raise ValueError("root has no parent")
+        return (ix >> 1, iy >> 1)
+
+    def children(self, level: int, ix: int, iy: int) -> list[Coord]:
+        """Children at ``level + 1`` in Morton order (SW, NW, SE, NE)."""
+        if level >= self.nlevels:
+            raise ValueError(f"boxes at level {level} are leaves")
+        bx, by = ix << 1, iy << 1
+        # Morton order with x in even bit positions: (0,0), (0,1), (1,0), (1,1)
+        return [(bx, by), (bx, by + 1), (bx + 1, by), (bx + 1, by + 1)]
+
+    def neighbors(self, level: int, ix: int, iy: int) -> list[Coord]:
+        """``N(B)``: Chebyshev-distance-1 boxes at the same level."""
+        return _ring(level, ix, iy, 1, 1)
+
+    def dist2_neighbors(self, level: int, ix: int, iy: int) -> list[Coord]:
+        """``M(B)``: Chebyshev-distance-exactly-2 boxes (Definition 2)."""
+        return _ring(level, ix, iy, 2, 2)
+
+    def near_and_self(self, level: int, ix: int, iy: int) -> list[Coord]:
+        """``{B} ∪ N(B)`` (Chebyshev distance <= 1)."""
+        return _disk(level, ix, iy, 1)
+
+    @staticmethod
+    def chebyshev_distance(a: Coord, b: Coord) -> int:
+        return max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+
+    # ------------------------------------------------------------------
+    # points
+    # ------------------------------------------------------------------
+    def leaf_of_point(self, i: int) -> Coord:
+        return (int(self._leaf_coord[i, 0]), int(self._leaf_coord[i, 1]))
+
+    def leaf_points(self, ix: int, iy: int) -> np.ndarray:
+        """Indices of points inside leaf ``(ix, iy)`` (Morton-sorted)."""
+        return self._leaf_points.get((ix, iy), np.empty(0, dtype=np.int64))
+
+    def nonempty_leaves(self) -> list[Coord]:
+        """Leaves that own at least one point, Morton order."""
+        return sorted(self._leaf_points, key=lambda c: morton_encode(c[0], c[1]))
+
+    def morton_point_order(self) -> np.ndarray:
+        """Permutation of point indices along the leaf Z-curve."""
+        return self._point_order
+
+    def max_leaf_occupancy(self) -> int:
+        if not self._leaf_points:
+            return 0
+        return max(v.size for v in self._leaf_points.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"QuadTree(N={self.N}, nlevels={self.nlevels}, "
+            f"leaves={self.nboxes(self.nlevels)}, domain={self.domain})"
+        )
+
+
+@lru_cache(maxsize=64)
+def _boxes_in_morton_order(level: int) -> list[Coord]:
+    n = 1 << level
+    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    ix = ii.ravel()
+    iy = jj.ravel()
+    order = np.argsort(morton_encode(ix, iy), kind="stable")
+    return [(int(ix[k]), int(iy[k])) for k in order]
+
+
+def _ring(level: int, ix: int, iy: int, dmin: int, dmax: int) -> list[Coord]:
+    """Boxes with Chebyshev distance in ``[dmin, dmax]``, row-major order."""
+    n = 1 << level
+    out: list[Coord] = []
+    for dx in range(-dmax, dmax + 1):
+        jx = ix + dx
+        if jx < 0 or jx >= n:
+            continue
+        for dy in range(-dmax, dmax + 1):
+            jy = iy + dy
+            if jy < 0 or jy >= n:
+                continue
+            d = max(abs(dx), abs(dy))
+            if dmin <= d <= dmax:
+                out.append((jx, jy))
+    return out
+
+
+def _disk(level: int, ix: int, iy: int, dmax: int) -> list[Coord]:
+    return _ring(level, ix, iy, 0, dmax)

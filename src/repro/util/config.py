@@ -1,0 +1,40 @@
+"""Environment-driven configuration used by benchmarks and examples.
+
+The benchmark harness regenerates every table/figure of the paper at a
+size controlled by ``REPRO_BENCH_SCALE``:
+
+* ``0`` (default) — tiny problems so the full suite runs in CI.
+* ``1`` — medium, paper-shaped sweeps (minutes).
+* ``2`` — the largest sizes that remain tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def env_int(name: str, default: int) -> int:
+    """Read an integer environment variable with a default."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"environment variable {name}={raw!r} is not an int") from exc
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Read a boolean environment variable (``1/true/yes`` are truthy)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in {"1", "true", "yes", "on"}
+
+
+def bench_scale() -> int:
+    """Benchmark scale knob; see module docstring."""
+    scale = env_int("REPRO_BENCH_SCALE", 0)
+    if scale < 0 or scale > 2:
+        raise ValueError(f"REPRO_BENCH_SCALE must be 0, 1 or 2; got {scale}")
+    return scale

@@ -1,0 +1,69 @@
+"""Lightweight timers used throughout the solver.
+
+Two notions of time coexist in this codebase:
+
+* real wall/CPU time, measured here, used for the sequential solver and
+  for the aggregate work accounting; and
+* *simulated* distributed time, kept by :mod:`repro.vmpi.clock`, used to
+  report the paper's ``t_fact``/``t_solve`` splits for p > 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """Context-manager stopwatch accumulating wall time in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._t0 is not None
+        self.elapsed += time.perf_counter() - self._t0
+        self._t0 = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = None
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulates named time buckets (e.g. ``compress``, ``schur``)."""
+
+    buckets: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.buckets[name] = self.buckets.get(name, 0.0) + seconds
+
+    def measure(self, name: str):
+        """Context manager adding the elapsed wall time to ``name``."""
+        return _BucketTimer(self, name)
+
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+    def __getitem__(self, name: str) -> float:
+        return self.buckets.get(name, 0.0)
+
+
+class _BucketTimer:
+    def __init__(self, breakdown: TimingBreakdown, name: str) -> None:
+        self._breakdown = breakdown
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_BucketTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._breakdown.add(self._name, time.perf_counter() - self._t0)

@@ -1,0 +1,39 @@
+"""Virtual MPI: a simulated distributed-memory runtime.
+
+The paper's solver runs on Julia ``Distributed.jl`` workers spread over
+a supercomputer. This environment has one CPU core and no MPI, so the
+*runtime* is simulated while the *algorithm* is executed faithfully:
+
+* every rank is an OS thread with strictly private state;
+* all interaction happens through explicit messages (payloads are
+  deep-copied on send, so there is no shared mutable data — a rank can
+  only learn what another rank sent it);
+* a LogP-style simulated clock tracks per-rank time: compute segments
+  advance it by the thread's measured CPU time, and a received message
+  cannot be consumed before ``sender_time + alpha + beta * bytes``;
+* per-rank counters record messages and words sent, so the paper's
+  communication-complexity claims (Sec. IV-B) are checked directly.
+
+The API deliberately mirrors mpi4py (``send``/``recv``, ``bcast``,
+``gather``, ``allreduce``, ``barrier``, …).
+"""
+
+from repro.vmpi.clock import CostModel, SimClock, INTRA_NODE, INTER_NODE
+from repro.vmpi.comm import Comm, DeadlockError
+from repro.vmpi.darray import DArray
+from repro.vmpi.launcher import run_spmd, SPMDRun, RankReport
+from repro.vmpi.grid import ProcessGrid2D
+
+__all__ = [
+    "CostModel",
+    "SimClock",
+    "INTRA_NODE",
+    "INTER_NODE",
+    "Comm",
+    "DArray",
+    "DeadlockError",
+    "run_spmd",
+    "SPMDRun",
+    "RankReport",
+    "ProcessGrid2D",
+]

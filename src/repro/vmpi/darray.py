@@ -1,0 +1,145 @@
+"""Distributed arrays (the paper's ``DistributedArrays.jl`` substrate).
+
+The paper stores its per-box data structures in distributed arrays with
+the access rule: *"a process can make a fast local access but has only
+read permission for a remote access"* (Sec. III). :class:`DArray`
+reproduces exactly that contract over the vmpi communicator:
+
+* the global index space is block-partitioned over ranks;
+* local reads/writes touch the local block directly;
+* remote reads go through an explicit request/serve message pair
+  (one-sided access is emulated by a cooperative ``serve`` step, since
+  Julia's ``Distributed`` has no RDMA either — the paper makes the same
+  point and uses remote procedure calls);
+* remote writes raise.
+
+All ranks must call the collective methods (``gather``, ``exchange``)
+together; ``fetch_remote`` is paired with ``serve`` on the owner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vmpi.comm import Comm
+
+_TAG_FETCH_REQ = -100
+_TAG_FETCH_DATA = -101
+
+
+def block_bounds(n: int, size: int, rank: int) -> tuple[int, int]:
+    """Contiguous block partition of ``range(n)`` over ``size`` ranks."""
+    base, extra = divmod(n, size)
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+class DArray:
+    """Block-distributed dense vector/matrix (rows distributed)."""
+
+    def __init__(self, comm: Comm, n: int, *, dtype=np.float64, ncols: int = 0):
+        if n < 0:
+            raise ValueError(f"n must be nonnegative, got {n}")
+        self.comm = comm
+        self.n = n
+        self.ncols = ncols
+        self.dtype = np.dtype(dtype)
+        self.lo, self.hi = block_bounds(n, comm.size, comm.rank)
+        shape = (self.hi - self.lo,) if ncols == 0 else (self.hi - self.lo, ncols)
+        self.local = np.zeros(shape, dtype=self.dtype)
+
+    # ------------------------------------------------------------------
+    def owner(self, index: int) -> int:
+        """Rank owning global row ``index``."""
+        if not (0 <= index < self.n):
+            raise IndexError(f"index {index} out of range for DArray of length {self.n}")
+        for r in range(self.comm.size):
+            lo, hi = block_bounds(self.n, self.comm.size, r)
+            if lo <= index < hi:
+                return r
+        raise AssertionError("unreachable")
+
+    def is_local(self, index: int) -> bool:
+        return self.lo <= index < self.hi
+
+    # -- local access ----------------------------------------------------
+    def __getitem__(self, index: int):
+        if not self.is_local(index):
+            raise PermissionError(
+                f"rank {self.comm.rank}: direct read of remote index {index} "
+                f"(owned by rank {self.owner(index)}); use fetch_remote/serve"
+            )
+        return self.local[index - self.lo]
+
+    def __setitem__(self, index: int, value) -> None:
+        if not self.is_local(index):
+            raise PermissionError(
+                f"rank {self.comm.rank}: write to remote index {index} denied "
+                "(distributed arrays are remotely read-only, Sec. III)"
+            )
+        self.local[index - self.lo] = value
+
+    def set_local_block(self, values: np.ndarray) -> None:
+        if values.shape != self.local.shape:
+            raise ValueError(f"expected shape {self.local.shape}, got {values.shape}")
+        self.local[...] = values
+
+    # -- remote access (request/serve pairs) ------------------------------
+    def fetch_remote(self, indices: np.ndarray, source: int) -> np.ndarray:
+        """Read rows owned by ``source``; the owner must call :meth:`serve`."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self.comm.send(indices, source, tag=_TAG_FETCH_REQ)
+        return self.comm.recv(source, tag=_TAG_FETCH_DATA)
+
+    def serve(self, requester: int) -> None:
+        """Answer one :meth:`fetch_remote` call from ``requester``."""
+        indices = self.comm.recv(requester, tag=_TAG_FETCH_REQ)
+        bad = (indices < self.lo) | (indices >= self.hi)
+        if np.any(bad):
+            raise IndexError(
+                f"rank {self.comm.rank}: asked to serve non-local rows "
+                f"{indices[bad][:5].tolist()}"
+            )
+        self.comm.send(self.local[indices - self.lo], requester, tag=_TAG_FETCH_DATA)
+
+    # -- collectives -------------------------------------------------------
+    def gather(self, root: int = 0) -> np.ndarray | None:
+        """Assemble the full array on ``root`` (None elsewhere)."""
+        parts = self.comm.gather((self.lo, self.local), root)
+        if self.comm.rank != root:
+            return None
+        assert parts is not None
+        shape = (self.n,) if self.ncols == 0 else (self.n, self.ncols)
+        out = np.zeros(shape, dtype=self.dtype)
+        for lo, block in parts:
+            out[lo : lo + block.shape[0]] = block
+        return out
+
+    @classmethod
+    def from_global(cls, comm: Comm, values: np.ndarray | None, root: int = 0) -> "DArray":
+        """Scatter a root-resident global array into a DArray."""
+        meta = comm.bcast(
+            (values.shape, str(values.dtype)) if comm.rank == root else None, root
+        )
+        shape, dtype = meta
+        n = shape[0]
+        ncols = shape[1] if len(shape) > 1 else 0
+        arr = cls(comm, n, dtype=np.dtype(dtype), ncols=ncols)
+        if comm.rank == root:
+            assert values is not None
+            chunks = [
+                values[slice(*block_bounds(n, comm.size, r))] for r in range(comm.size)
+            ]
+        else:
+            chunks = None
+        arr.set_local_block(comm.scatter(chunks, root))
+        return arr
+
+    def local_norm_sq(self) -> float:
+        return float(np.vdot(self.local, self.local).real)
+
+    def norm(self) -> float:
+        """Global 2-norm (collective: allreduce of local squares)."""
+        total = self.comm.allreduce(self.local_norm_sq(), lambda a, b: a + b)
+        return float(np.sqrt(total))

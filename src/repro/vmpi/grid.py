@@ -1,0 +1,87 @@
+"""2D process grid aligned with the quadtree, and its 4-coloring.
+
+``p`` ranks form a ``sqrt(p) x sqrt(p)`` grid whose cells are exactly
+the boxes at tree level ``log4(p)`` — each rank owns the subtree below
+its cell. Rank ids follow the Morton order of grid coordinates so that
+the 4-to-1 rank reduction at coarse levels (Sec. III-C) keeps sibling
+ranks contiguous: the reduction leader of a sibling group is the rank
+with the low two Morton bits cleared.
+
+The 4-coloring is the parity coloring ``(px mod 2) + 2 (py mod 2)``
+(Fig. 5): adjacent ranks always differ in at least one parity, and four
+colors suffice for any 2D grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.morton import morton_decode, morton_encode
+
+
+class ProcessGrid2D:
+    """Square process grid with Morton rank numbering."""
+
+    def __init__(self, p: int):
+        if p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+        side = math.isqrt(p)
+        if side * side != p or (side & (side - 1)) != 0:
+            raise ValueError(
+                f"p must be a power-of-two squared (1, 4, 16, 64, ...), got {p}"
+            )
+        self.p = p
+        self.side = side
+        #: tree level whose boxes coincide with the grid cells
+        self.level = side.bit_length() - 1
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        if not (0 <= rank < self.p):
+            raise ValueError(f"rank {rank} out of range for p={self.p}")
+        return morton_decode(rank)
+
+    def rank_of(self, px: int, py: int) -> int:
+        if not (0 <= px < self.side and 0 <= py < self.side):
+            raise ValueError(f"grid coords ({px},{py}) out of range (side={self.side})")
+        return morton_encode(px, py)
+
+    def color(self, rank: int) -> int:
+        """Parity color in {0, 1, 2, 3} (Fig. 5)."""
+        px, py = self.coords_of(rank)
+        return (px % 2) + 2 * (py % 2)
+
+    def neighbor_ranks(self, rank: int) -> list[int]:
+        """Grid-adjacent ranks (Chebyshev distance 1)."""
+        px, py = self.coords_of(rank)
+        out = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                qx, qy = px + dx, py + dy
+                if 0 <= qx < self.side and 0 <= qy < self.side:
+                    out.append(self.rank_of(qx, qy))
+        return sorted(out)
+
+    def colors_in_use(self) -> list[int]:
+        """Distinct colors present (fewer than 4 on tiny grids)."""
+        return sorted({self.color(r) for r in range(self.p)})
+
+    # ------------------------------------------------------------------
+    # 4-to-1 reduction (coarse levels)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def group_leader(rank: int) -> int:
+        """Leader of the sibling quad containing ``rank``."""
+        return rank & ~0x3
+
+    @staticmethod
+    def is_active_at_reduction(rank: int, reductions: int) -> bool:
+        """Whether ``rank`` still participates after ``reductions`` 4-to-1 steps."""
+        return rank % (4**reductions) == 0
+
+    def active_side_after(self, reductions: int) -> int:
+        return max(1, self.side >> reductions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ProcessGrid2D(p={self.p}, side={self.side}, level={self.level})"

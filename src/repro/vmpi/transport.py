@@ -1,0 +1,83 @@
+"""In-process message transport: per-rank mailboxes.
+
+Payloads are deep-copied on ``put`` so that ranks never share mutable
+state — the only way data crosses rank boundaries is by value, exactly
+as in a real distributed-memory machine.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import queue
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class Message:
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_time: float
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a payload in bytes."""
+    if obj is None:
+        return 8
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (int, float, complex, bool, np.generic)):
+        return 16
+    if isinstance(obj, (list, tuple, set)):
+        return 16 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 16 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable payloads
+        return 64
+
+
+def sanitize(obj: Any) -> Any:
+    """Deep-copy a payload (ndarray-aware, cheaper than pickle round-trip)."""
+    if obj is None or isinstance(obj, (int, float, complex, bool, str, bytes, np.generic)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(sanitize(x) for x in obj)
+    if isinstance(obj, list):
+        return [sanitize(x) for x in obj]
+    if isinstance(obj, set):
+        return {sanitize(x) for x in obj}
+    if isinstance(obj, dict):
+        return {sanitize(k): sanitize(v) for k, v in obj.items()}
+    return copy.deepcopy(obj)
+
+
+class Transport:
+    """One unbounded mailbox per rank."""
+
+    def __init__(self, nranks: int):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self._mailboxes: list[queue.SimpleQueue] = [queue.SimpleQueue() for _ in range(nranks)]
+
+    def put(self, message: Message) -> None:
+        if not (0 <= message.dest < self.nranks):
+            raise ValueError(f"invalid destination rank {message.dest}")
+        self._mailboxes[message.dest].put(message)
+
+    def get(self, rank: int, timeout: float) -> Message:
+        return self._mailboxes[rank].get(timeout=timeout)

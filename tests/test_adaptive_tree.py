@@ -1,0 +1,81 @@
+"""Tests for the adaptive quadtree substrate (non-uniform extension)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import clustered_points, random_points, uniform_grid
+from repro.tree import AdaptiveQuadTree
+
+
+def test_partition_uniform():
+    t = AdaptiveQuadTree(uniform_grid(16), leaf_size=32)
+    assert t.check_partition()
+
+
+def test_partition_clustered():
+    pts = clustered_points(1000, n_clusters=3, spread=0.02, seed=5)
+    t = AdaptiveQuadTree(pts, leaf_size=25)
+    assert t.check_partition()
+    assert all(leaf.index.size <= 25 for leaf in t.leaves())
+
+
+def test_empty_children_pruned():
+    pts = clustered_points(400, n_clusters=1, spread=0.01, seed=2)
+    t = AdaptiveQuadTree(pts, leaf_size=20)
+    for nodes in t.levels:
+        for node in nodes:
+            assert node.index.size > 0
+
+
+def test_adaptive_depth_exceeds_uniform_depth_for_clusters():
+    """Clustered clouds refine locally deeper than a uniform cloud of equal N."""
+    n = 800
+    t_uni = AdaptiveQuadTree(random_points(n, seed=1), leaf_size=20)
+    t_clu = AdaptiveQuadTree(
+        clustered_points(n, n_clusters=1, spread=0.005, seed=1), leaf_size=20
+    )
+    assert t_clu.nlevels >= t_uni.nlevels
+
+
+def test_neighbors_are_adjacent_same_level():
+    t = AdaptiveQuadTree(uniform_grid(16), leaf_size=16)
+    for nodes in t.levels[1:]:
+        for node in nodes:
+            for nb in t.neighbors(node):
+                assert nb.level == node.level
+                delta = np.abs(nb.center - node.center)
+                assert max(delta) <= node.square.size * (1 + 1e-9)
+
+
+def test_neighbors_match_perfect_tree_on_uniform_grid():
+    """On a uniform cloud the adaptive tree reproduces grid adjacency."""
+    pts = uniform_grid(16)
+    t = AdaptiveQuadTree(pts, leaf_size=4, domain=None)
+    # level with 8x8 nodes (side = domain/8)
+    lvl = [nodes for nodes in t.levels if len(nodes) == 64]
+    assert lvl, "expected a full 8x8 level"
+    for node in lvl[0]:
+        nbrs = t.neighbors(node)
+        cx, cy = node.center / node.square.size - 0.5
+        ix, iy = int(round(cx)), int(round(cy))
+        expected = sum(
+            1
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            if (dx, dy) != (0, 0) and 0 <= ix + dx < 8 and 0 <= iy + dy < 8
+        )
+        assert len(nbrs) == expected
+
+
+def test_dist2_neighbors_band():
+    t = AdaptiveQuadTree(uniform_grid(16), leaf_size=4)
+    lvl = [nodes for nodes in t.levels if len(nodes) == 64][0]
+    for node in lvl[:8]:
+        for mb in t.dist2_neighbors(node):
+            d = max(np.abs(mb.center - node.center)) / node.square.size
+            assert 1.5 < d <= 2.5 + 1e-9
+
+
+def test_invalid_leaf_size():
+    with pytest.raises(ValueError):
+        AdaptiveQuadTree(uniform_grid(4), leaf_size=0)

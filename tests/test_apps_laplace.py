@@ -1,0 +1,68 @@
+"""Tests for the Laplace volume-IE application (paper Sec. V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+
+
+@pytest.fixture(scope="module")
+def prob():
+    return LaplaceVolumeProblem(32)
+
+
+@pytest.fixture(scope="module")
+def fact(prob):
+    return prob.factor(SRSOptions(tol=1e-6, leaf_size=64))
+
+
+def test_setup(prob):
+    assert prob.n == 1024
+    assert prob.h == pytest.approx(1.0 / 32)
+
+
+def test_direct_solve_accuracy(prob, fact):
+    b = prob.random_rhs()
+    x = fact.solve(b)
+    # Table III: relres ~ 1e-4..1e-3 at eps = 1e-6 for the first-kind IE
+    assert prob.relres(x, b) < 1e-2
+
+
+def test_pcg_constant_iterations(prob, fact):
+    """Paper: PCG reaches 1e-12 in ~4-6 iterations at eps = 1e-6."""
+    b = prob.random_rhs()
+    res = prob.pcg(fact, b)
+    assert res.converged
+    assert res.iterations <= 10
+    assert prob.relres(res.x, b) < 1e-11
+
+
+def test_unpreconditioned_cg_much_slower(prob, fact):
+    """Paper: plain CG needs ~5 sqrt(N) iterations."""
+    b = prob.random_rhs()
+    pre = prob.pcg(fact, b)
+    plain = prob.unpreconditioned_cg(b, maxiter=5000)
+    assert plain.iterations > 10 * pre.iterations
+    # 5 sqrt(N) = 160 at N = 1024; allow generous band
+    assert 50 <= plain.iterations <= 1000
+
+
+def test_rhs_reproducible(prob):
+    assert np.array_equal(prob.random_rhs(seed=3), prob.random_rhs(seed=3))
+    assert prob.random_rhs(nrhs=4).shape == (prob.n, 4)
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        LaplaceVolumeProblem(2)
+
+
+def test_pcg_iterations_roughly_constant_in_n():
+    """Table III: nit stays ~4-6 as N grows."""
+    nits = []
+    for m in (16, 32):
+        p = LaplaceVolumeProblem(m)
+        f = p.factor(SRSOptions(tol=1e-6, leaf_size=64))
+        nits.append(p.pcg(f, p.random_rhs()).iterations)
+    assert abs(nits[1] - nits[0]) <= 3

@@ -1,0 +1,118 @@
+"""Tests for the interaction store (active sets + modified blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interactions import InteractionStore
+from repro.geometry import uniform_grid
+from repro.kernels import GaussianKernelMatrix
+from repro.tree import QuadTree
+
+
+@pytest.fixture
+def setup():
+    pts = uniform_grid(8)
+    kernel = GaussianKernelMatrix(pts, 1.0 / 8, sigma=0.1)
+    tree = QuadTree(pts, 2)
+    active = {c: tree.leaf_points(*c) for c in tree.nonempty_leaves()}
+    return kernel, tree, active
+
+
+def test_get_falls_back_to_kernel(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(kernel, active)
+    b0, b1 = (0, 0), (1, 1)
+    blk = store.get(b0, b1)
+    assert np.allclose(blk, kernel.block(active[b0], active[b1]))
+    assert not store.is_modified(b0, b1)
+
+
+def test_get_writable_materializes_and_persists(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(kernel, active)
+    b0, b1 = (0, 0), (0, 1)
+    blk = store.get_writable(b0, b1)
+    blk -= 1.0
+    assert store.is_modified(b0, b1)
+    assert np.allclose(store.get(b0, b1), kernel.block(active[b0], active[b1]) - 1.0)
+
+
+def test_locality_guard(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(kernel, active, max_modified_distance=2)
+    with pytest.raises(RuntimeError, match="locality"):
+        store.get_writable((0, 0), (3, 3))
+    # distance-2 is allowed
+    store.get_writable((0, 0), (2, 2))
+
+
+def test_restrict_shrinks_all_touching_blocks(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(kernel, active)
+    b0, b1 = (0, 0), (0, 1)
+    store.get_writable(b0, b1)
+    store.get_writable(b1, b0)
+    store.get_writable(b0, b0)
+    n0 = store.nactive(b0)
+    keep = np.array([0, 2])
+    store.restrict(b0, keep)
+    assert store.nactive(b0) == 2
+    assert store.get(b0, b1).shape[0] == 2
+    assert store.get(b1, b0).shape[1] == 2
+    assert store.get(b0, b0).shape == (2, 2)
+    assert n0 > 2
+
+
+def test_restrict_keeps_values(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(kernel, active)
+    b0, b1 = (0, 0), (0, 1)
+    before = store.get_writable(b0, b1).copy()
+    keep = np.array([1, 3])
+    store.restrict(b0, keep)
+    assert np.allclose(store.get(b0, b1), before[keep, :])
+
+
+def test_set_shape_validation(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(kernel, active)
+    with pytest.raises(ValueError):
+        store.set((0, 0), (0, 1), np.zeros((1, 1)))
+
+
+def test_seed_blocks_registered(setup):
+    kernel, tree, active = setup
+    val = np.ones((active[(0, 0)].size, active[(1, 0)].size))
+    store = InteractionStore(kernel, active, blocks={((0, 0), (1, 0)): val})
+    assert store.is_modified((0, 0), (1, 0))
+    assert np.allclose(store.get((0, 0), (1, 0)), 1.0)
+
+
+def test_store_predicate_discards_updates(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(
+        kernel, active, store_predicate=lambda bi, bj: bi == (0, 0) or bj == (0, 0)
+    )
+    blk = store.get_writable((1, 1), (1, 0))  # not held
+    blk -= 5.0
+    assert not store.is_modified((1, 1), (1, 0))
+    held = store.get_writable((0, 0), (1, 0))
+    held -= 5.0
+    assert store.is_modified((0, 0), (1, 0))
+
+
+def test_drop_box(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(kernel, active)
+    store.get_writable((0, 0), (0, 1))
+    store.drop_box((0, 0))
+    assert (0, 0) not in store.active
+    assert not store.is_modified((0, 0), (0, 1))
+
+
+def test_memory_accounting(setup):
+    kernel, tree, active = setup
+    store = InteractionStore(kernel, active)
+    assert store.memory_bytes() == 0
+    store.get_writable((0, 0), (0, 1))
+    assert store.memory_bytes() > 0

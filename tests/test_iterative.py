@@ -1,0 +1,132 @@
+"""Tests for CG and GMRES."""
+
+import numpy as np
+import pytest
+
+from repro.iterative import cg, gmres
+
+
+@pytest.fixture
+def spd():
+    rng = np.random.default_rng(5)
+    q, _ = np.linalg.qr(rng.standard_normal((80, 80)))
+    return q @ np.diag(np.linspace(1, 50, 80)) @ q.T
+
+
+def test_cg_converges_spd(spd, rng):
+    b = rng.standard_normal(80)
+    res = cg(lambda v: spd @ v, b, tol=1e-12)
+    assert res.converged
+    assert np.linalg.norm(spd @ res.x - b) / np.linalg.norm(b) < 1e-11
+
+
+def test_cg_iteration_count_scales_with_sqrt_condition(rng):
+    q, _ = np.linalg.qr(rng.standard_normal((100, 100)))
+    counts = []
+    for cond in (10.0, 1000.0):
+        a = q @ np.diag(np.geomspace(1, cond, 100)) @ q.T
+        b = rng.standard_normal(100)
+        counts.append(cg(lambda v, a=a: a @ v, b, tol=1e-10).iterations)
+    assert counts[1] > 2 * counts[0]
+
+
+def test_pcg_exact_preconditioner_one_iteration(spd, rng):
+    b = rng.standard_normal(80)
+    res = cg(lambda v: spd @ v, b, preconditioner=lambda v: np.linalg.solve(spd, v), tol=1e-12)
+    assert res.converged and res.iterations <= 2
+
+
+def test_cg_zero_rhs(spd):
+    res = cg(lambda v: spd @ v, np.zeros(80))
+    assert res.converged and res.iterations == 0
+
+
+def test_cg_with_initial_guess(spd, rng):
+    b = rng.standard_normal(80)
+    x_true = np.linalg.solve(spd, b)
+    res = cg(lambda v: spd @ v, b, x0=x_true, tol=1e-10)
+    assert res.iterations == 0 and res.converged
+
+
+def test_cg_residual_history_decreasing_tail(spd, rng):
+    b = rng.standard_normal(80)
+    res = cg(lambda v: spd @ v, b, tol=1e-12)
+    assert res.residual_history[-1] < res.residual_history[0]
+    assert res.final_residual <= 1e-12
+
+
+def test_cg_maxiter_not_converged(spd, rng):
+    b = rng.standard_normal(80)
+    res = cg(lambda v: spd @ v, b, tol=1e-14, maxiter=2)
+    assert not res.converged and res.iterations == 2
+
+
+# -- GMRES -------------------------------------------------------------
+@pytest.fixture
+def complex_system(rng):
+    n = 60
+    a = 4 * np.eye(n) + 0.5 * (
+        rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    ) / np.sqrt(n)
+    b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    return a, b
+
+
+def test_gmres_converges_complex(complex_system):
+    a, b = complex_system
+    res = gmres(lambda v: a @ v, b, tol=1e-12, restart=30)
+    assert res.converged
+    assert np.linalg.norm(a @ res.x - b) / np.linalg.norm(b) < 1e-11
+
+
+def test_gmres_restart_still_converges(complex_system):
+    a, b = complex_system
+    res = gmres(lambda v: a @ v, b, tol=1e-10, restart=5)
+    assert res.converged
+    assert np.linalg.norm(a @ res.x - b) / np.linalg.norm(b) < 1e-9
+
+
+def test_right_preconditioning_reports_true_residual(complex_system):
+    a, b = complex_system
+    res = gmres(
+        lambda v: a @ v, b, preconditioner=lambda v: np.linalg.solve(a, v), tol=1e-12
+    )
+    assert res.converged and res.iterations <= 2
+    assert np.linalg.norm(a @ res.x - b) / np.linalg.norm(b) < 1e-11
+
+
+def test_gmres_real_system(rng):
+    n = 50
+    a = 3 * np.eye(n) + rng.standard_normal((n, n)) / np.sqrt(n)
+    b = rng.standard_normal(n)
+    res = gmres(lambda v: a @ v, b, tol=1e-11, restart=25)
+    assert res.converged
+    assert np.linalg.norm(a @ res.x - b) / np.linalg.norm(b) < 1e-10
+
+
+def test_gmres_zero_rhs():
+    res = gmres(lambda v: v, np.zeros(10))
+    assert res.converged and res.iterations == 0
+
+
+def test_gmres_maxiter_cap(complex_system):
+    a, b = complex_system
+    res = gmres(lambda v: a @ v, b, tol=1e-15, maxiter=3, restart=20)
+    assert res.iterations <= 3
+
+
+def test_gmres_invalid_restart(complex_system):
+    a, b = complex_system
+    with pytest.raises(ValueError):
+        gmres(lambda v: a @ v, b, restart=0)
+
+
+def test_gmres_matches_scipy(complex_system):
+    import scipy.sparse.linalg as spla
+
+    a, b = complex_system
+    ours = gmres(lambda v: a @ v, b, tol=1e-10, restart=20)
+    op = spla.LinearOperator(a.shape, matvec=lambda v: a @ v, dtype=complex)
+    theirs, info = spla.gmres(op, b, rtol=1e-10, restart=20)
+    assert info == 0
+    assert np.linalg.norm(ours.x - theirs) / np.linalg.norm(theirs) < 1e-6

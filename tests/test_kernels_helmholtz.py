@@ -1,0 +1,106 @@
+"""Tests for the Helmholtz / Lippmann-Schwinger kernel (Eqns. 19-21)."""
+
+import numpy as np
+import pytest
+from scipy.special import hankel1
+
+from repro.geometry import uniform_grid
+from repro.kernels import HelmholtzKernelMatrix
+from repro.kernels.helmholtz import (
+    gaussian_bump,
+    hankel_cell_self_integral,
+    helmholtz_greens,
+)
+
+
+def test_offdiagonal_entries_match_formula():
+    m, kappa = 8, 5.0
+    pts = uniform_grid(m)
+    h = 1.0 / m
+    b = gaussian_bump(pts)
+    k = HelmholtzKernelMatrix(pts, h, kappa, b=b)
+    blk = k.block(np.array([0]), np.array([9]))
+    r = np.linalg.norm(pts[0] - pts[9])
+    expected = h**2 * kappa**2 * np.sqrt(b[0] * b[9]) * 0.25j * hankel1(0, kappa * r)
+    assert blk[0, 0] == pytest.approx(expected)
+
+
+def test_diagonal_contains_identity(helmholtz24):
+    d = helmholtz24.diagonal()
+    # second-kind: diagonal dominated by the identity for moderate kappa*h
+    assert np.all(np.abs(d.real - 1.0) < 1.0)
+
+
+def test_cell_self_integral_matches_numeric_quadrature():
+    from scipy import integrate
+
+    kappa, h = 7.0, 0.125
+    val = hankel_cell_self_integral(kappa, h)
+
+    def re(y, x):
+        r = np.hypot(x, y)
+        return (0.25j * hankel1(0, kappa * r)).real
+
+    def im(y, x):
+        r = np.hypot(x, y)
+        return (0.25j * hankel1(0, kappa * r)).imag
+
+    # one quadrant (corner singularity) x 4 by symmetry
+    vr, _ = integrate.dblquad(re, 0.0, h / 2, lambda x: 0.0, lambda x: h / 2)
+    vi, _ = integrate.dblquad(im, 0.0, h / 2, lambda x: 0.0, lambda x: h / 2)
+    assert val.real == pytest.approx(4 * vr, rel=1e-7)
+    assert val.imag == pytest.approx(4 * vi, rel=1e-7)
+
+
+def test_matrix_complex_symmetric(helmholtz24_dense):
+    # complex symmetric (NOT Hermitian): A == A^T
+    assert np.abs(helmholtz24_dense - helmholtz24_dense.T).max() < 1e-14
+
+
+def test_gaussian_bump_properties():
+    pts = uniform_grid(16)
+    b = gaussian_bump(pts)
+    assert np.all(b > 0) and np.all(b <= 1)
+    center_idx = np.argmin(np.linalg.norm(pts - 0.5, axis=1))
+    assert b[center_idx] == b.max()
+
+
+def test_invalid_parameters():
+    pts = uniform_grid(4)
+    with pytest.raises(ValueError):
+        HelmholtzKernelMatrix(pts, 0.25, -1.0)
+    with pytest.raises(ValueError):
+        HelmholtzKernelMatrix(pts, 0.25, 5.0, b=np.zeros(16))
+    with pytest.raises(ValueError):
+        HelmholtzKernelMatrix(pts, 0.25, 5.0, b=np.ones(7))
+
+
+def test_points_per_wavelength():
+    k = HelmholtzKernelMatrix(uniform_grid(32), 1.0 / 32, 2.0 * np.pi)
+    assert k.points_per_wavelength() == pytest.approx(32.0)
+
+
+def test_spawn_carries_scattering_potential(helmholtz24):
+    sub = np.array([10, 50, 100])
+    data = helmholtz24.per_point_data(sub)
+    spawned = helmholtz24.spawn(helmholtz24.points[sub], data)
+    assert np.allclose(
+        spawned.block(np.arange(3), np.arange(3)),
+        helmholtz24.block(sub, sub),
+    )
+
+
+def test_callable_potential():
+    pts = uniform_grid(8)
+    k = HelmholtzKernelMatrix(pts, 1.0 / 8, 3.0, b=gaussian_bump)
+    assert np.allclose(k.b, gaussian_bump(pts))
+
+
+def test_greens_singularity_masked_in_block():
+    pts = uniform_grid(8)
+    k = HelmholtzKernelMatrix(pts, 1.0 / 8, 3.0)
+    idx = np.arange(4)
+    blk = k.block(idx, idx)
+    assert np.all(np.isfinite(blk))
+    g = helmholtz_greens(pts[:1], pts[:1], 3.0)
+    assert not np.isfinite(g).all()  # raw greens is singular on the diagonal

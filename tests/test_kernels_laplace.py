@@ -1,0 +1,87 @@
+"""Tests for the 2D Laplace kernel matrix (Eqns. 16-17)."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.geometry import uniform_grid
+from repro.kernels import LaplaceKernelMatrix, dense_matrix
+from repro.kernels.laplace import laplace_greens
+
+
+def test_offdiagonal_entries_match_formula(grid16):
+    h = 1.0 / 16
+    k = LaplaceKernelMatrix(grid16, h)
+    a = k.block(np.array([0, 5]), np.array([3, 7]))
+    for bi, i in enumerate([0, 5]):
+        for bj, j in enumerate([3, 7]):
+            r = np.linalg.norm(grid16[i] - grid16[j])
+            assert a[bi, bj] == pytest.approx(-(h * h) * np.log(r) / (2 * np.pi))
+
+
+def test_diagonal_matches_adaptive_quadrature():
+    # quadrant integration keeps the singularity at a corner node-free spot
+    h = 1.0 / 8
+    k = LaplaceKernelMatrix(uniform_grid(8), h)
+    ref, _ = integrate.dblquad(
+        lambda y, x: -np.log(np.hypot(x, y)) / (2 * np.pi),
+        0.0,
+        h / 2,
+        lambda x: 0.0,
+        lambda x: h / 2,
+    )
+    assert k.diagonal()[0] == pytest.approx(4 * ref, rel=1e-9)
+
+
+def test_matrix_is_symmetric(laplace32_dense):
+    assert np.abs(laplace32_dense - laplace32_dense.T).max() == 0.0
+
+
+def test_block_handles_diagonal_in_overlapping_sets(laplace32):
+    idx = np.array([0, 1, 2])
+    blk = laplace32.block(idx, idx)
+    assert np.allclose(np.diag(blk), laplace32.diagonal()[:3])
+
+
+def test_greens_is_translation_invariant():
+    x = np.array([[0.1, 0.2], [0.4, 0.9]])
+    y = np.array([[0.3, 0.3]])
+    shift = np.array([0.05, -0.07])
+    a = laplace_greens(x, y)
+    b = laplace_greens(x + shift, y + shift)
+    assert np.allclose(a, b)
+
+
+def test_proxy_blocks_have_column_weights(laplace32):
+    proxy = np.array([[2.0, 2.0], [3.0, 3.0]])
+    cols = np.array([0, 1])
+    blk = laplace32.proxy_row_block(proxy, cols)
+    g = laplace_greens(proxy, laplace32.points[cols])
+    assert np.allclose(blk, g * (1.0 / 32) ** 2)
+
+
+def test_empty_blocks(laplace32):
+    assert laplace32.block(np.array([], dtype=int), np.array([0])).shape == (0, 1)
+    assert laplace32.proxy_row_block(np.zeros((0, 2)), np.array([0])).shape == (0, 1)
+
+
+def test_invalid_spacing():
+    with pytest.raises(ValueError):
+        LaplaceKernelMatrix(uniform_grid(4), -0.1)
+
+
+def test_spawn_reproduces_entries(laplace32):
+    sub = np.array([3, 17, 200])
+    spawned = laplace32.spawn(laplace32.points[sub], {})
+    full = laplace32.block(sub, sub)
+    local = spawned.block(np.arange(3), np.arange(3))
+    assert np.allclose(full, local)
+
+
+def test_first_kind_system_is_ill_conditioned():
+    """Condition number grows ~ O(N) (paper Sec. I-A)."""
+    c = []
+    for m in (8, 16):
+        k = LaplaceKernelMatrix(uniform_grid(m), 1.0 / m)
+        c.append(np.linalg.cond(dense_matrix(k)))
+    assert c[1] > 2.0 * c[0]

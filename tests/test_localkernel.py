@@ -1,0 +1,96 @@
+"""Tests for the rank-local kernel view."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import uniform_grid
+from repro.kernels import HelmholtzKernelMatrix, LaplaceKernelMatrix
+from repro.kernels.helmholtz import gaussian_bump
+from repro.parallel.localkernel import LocalKernel
+
+
+@pytest.fixture
+def full():
+    m = 16
+    pts = uniform_grid(m)
+    return HelmholtzKernelMatrix(pts, 1.0 / m, 6.0, b=gaussian_bump(pts))
+
+
+def make_local(full, ids):
+    ids = np.asarray(ids, dtype=np.int64)
+    return LocalKernel(full, ids, full.points[ids], full.per_point_data(ids))
+
+
+def test_block_matches_global(full):
+    ids = np.array([5, 17, 40, 200, 3])
+    lk = make_local(full, ids)
+    sub_i = np.array([5, 40])
+    sub_j = np.array([17, 3, 200])
+    assert np.allclose(lk.block(sub_i, sub_j), full.block(sub_i, sub_j))
+
+
+def test_diagonal_entries_correct(full):
+    ids = np.array([10, 20, 30])
+    lk = make_local(full, ids)
+    blk = lk.block(ids, ids)
+    assert np.allclose(np.diag(blk), full.diagonal()[ids])
+
+
+def test_unknown_point_raises(full):
+    lk = make_local(full, [1, 2, 3])
+    with pytest.raises(KeyError, match="unknown global point"):
+        lk.block(np.array([1]), np.array([99]))
+
+
+def test_extend_adds_points(full):
+    lk = make_local(full, [1, 2, 3])
+    new = np.array([50, 60])
+    added = lk.extend(new, full.points[new], full.per_point_data(new))
+    assert added == 2
+    assert np.allclose(lk.block(np.array([50]), np.array([2])), full.block(np.array([50]), np.array([2])))
+
+
+def test_extend_skips_known(full):
+    lk = make_local(full, [1, 2, 3])
+    ids = np.array([2, 3, 70])
+    added = lk.extend(ids, full.points[ids], full.per_point_data(ids))
+    assert added == 1
+    assert lk.n_known == 4
+
+
+def test_extend_empty(full):
+    lk = make_local(full, [1])
+    assert lk.extend(np.empty(0, dtype=np.int64), np.empty((0, 2)), {}) == 0
+
+
+def test_duplicate_ids_rejected(full):
+    with pytest.raises(ValueError):
+        make_local(full, [1, 1, 2])
+
+
+def test_proxy_blocks_match(full):
+    ids = np.array([0, 1, 2, 3])
+    lk = make_local(full, ids)
+    proxy = np.array([[2.0, 2.0], [2.0, 3.0]])
+    assert np.allclose(lk.proxy_row_block(proxy, ids), full.proxy_row_block(proxy, ids))
+    assert np.allclose(lk.proxy_col_block(ids, proxy), full.proxy_col_block(ids, proxy))
+
+
+def test_kappa_forwarded(full):
+    lk = make_local(full, [0, 1])
+    assert lk.kappa == pytest.approx(6.0)
+
+
+def test_laplace_kernel_no_per_point_data():
+    m = 8
+    full = LaplaceKernelMatrix(uniform_grid(m), 1.0 / m)
+    ids = np.array([0, 9, 33])
+    lk = LocalKernel(full, ids, full.points[ids], {})
+    assert np.allclose(lk.block(ids, ids), full.block(ids, ids))
+
+
+def test_coords_and_per_point_lookup(full):
+    ids = np.array([7, 70])
+    lk = make_local(full, ids)
+    assert np.allclose(lk.coords_of(ids), full.points[ids])
+    assert np.allclose(lk.per_point_of(ids)["b"], full.b[ids])

@@ -1,0 +1,70 @@
+"""Tests for the partial-LU wrapper used to eliminate X_RR."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import PartialLU
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((12, 12)) + 12 * np.eye(12)
+
+
+def test_solve_left(matrix):
+    lu = PartialLU(matrix)
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal((12, 3))
+    assert np.allclose(matrix @ lu.solve_left(b), b)
+
+
+def test_solve_right(matrix):
+    lu = PartialLU(matrix)
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal((5, 12))
+    assert np.allclose(lu.solve_right(b) @ matrix, b)
+
+
+def test_half_solves_compose_to_full(matrix):
+    """U^{-1} L^{-1} P v == X^{-1} v."""
+    lu = PartialLU(matrix)
+    rng = np.random.default_rng(3)
+    v = rng.standard_normal(12)
+    composed = lu.apply_upper_inverse(lu.apply_lower_inverse(v))
+    assert np.allclose(composed, np.linalg.solve(matrix, v))
+
+
+def test_lower_inverse_is_unit_triangular_action(matrix):
+    """L^{-1} P applied to the matrix's own columns gives U."""
+    lu = PartialLU(matrix)
+    u = np.column_stack([lu.apply_lower_inverse(matrix[:, j]) for j in range(12)])
+    assert np.allclose(np.tril(u, -1), 0.0, atol=1e-10)
+
+
+def test_complex_support():
+    rng = np.random.default_rng(4)
+    a = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6)) + 6 * np.eye(6)
+    lu = PartialLU(a)
+    b = rng.standard_normal(6) + 1j * rng.standard_normal(6)
+    assert np.allclose(a @ lu.solve_left(b), b)
+
+
+def test_empty_block():
+    lu = PartialLU(np.zeros((0, 0)))
+    v = np.zeros((0, 2))
+    assert lu.solve_left(v).shape == (0, 2)
+    assert lu.apply_lower_inverse(np.zeros(0)).shape == (0,)
+
+
+def test_requires_square():
+    with pytest.raises(ValueError):
+        PartialLU(np.zeros((3, 4)))
+
+
+def test_pivoting_matters():
+    """A matrix needing pivoting is still solved accurately."""
+    a = np.array([[1e-14, 1.0], [1.0, 1.0]])
+    lu = PartialLU(a)
+    b = np.array([1.0, 2.0])
+    assert np.allclose(a @ lu.solve_left(b), b, atol=1e-12)

@@ -1,0 +1,140 @@
+"""Tests for the level layouts: ownership, boundaries, reduction schedule."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.ownership import LevelLayout, max_ranks_for_tree
+
+
+def test_max_ranks():
+    assert max_ranks_for_tree(3) == 16
+    assert max_ranks_for_tree(2) == 4
+    assert max_ranks_for_tree(1) == 1
+
+
+def test_active_schedule_p16():
+    # leaf deep: all 16 ranks; coarse levels reduce 4-to-1
+    assert LevelLayout(4, 16).active == 16
+    assert LevelLayout(3, 16).active == 16
+    assert LevelLayout(2, 16).active == 4
+    assert LevelLayout(1, 16).active == 1
+
+
+def test_every_active_rank_owns_at_least_2x2():
+    for p in (1, 4, 16, 64):
+        for level in range(1, 6):
+            if p > max_ranks_for_tree(level + 1):
+                continue
+            lay = LevelLayout(level, p)
+            assert lay.region_side >= 2 or lay.active == 1
+            if lay.active >= 1:
+                assert lay.region_side >= 2 or level == 1
+
+
+def test_owned_boxes_partition_grid():
+    lay = LevelLayout(3, 16)
+    seen = set()
+    for r in lay.active_ranks():
+        boxes = lay.owned_boxes(r)
+        assert len(boxes) == lay.region_side**2
+        for b in boxes:
+            assert b not in seen
+            assert lay.owner(b) == r
+            seen.add(b)
+    assert len(seen) == lay.nside**2
+
+
+def test_inactive_rank_rejected():
+    lay = LevelLayout(2, 16)  # active = 4, stride = 4
+    assert lay.is_active(0) and lay.is_active(4)
+    assert not lay.is_active(1)
+    with pytest.raises(ValueError):
+        lay.rank_coords(1)
+
+
+def test_region_distance():
+    lay = LevelLayout(3, 16)  # 8x8 boxes, 4x4 ranks, regions 2x2
+    # rank 0 owns boxes (0..1, 0..1)
+    assert lay.region_distance((0, 0), 0) == 0
+    assert lay.region_distance((2, 0), 0) == 1
+    assert lay.region_distance((4, 3), 0) == 3
+
+
+def test_boundary_classification():
+    lay = LevelLayout(3, 4)  # 8x8 boxes, 2x2 ranks, regions 4x4
+    r = 0  # owns (0..3, 0..3)
+    assert not lay.is_boundary((0, 0), r)  # domain corner, all nbrs local
+    assert not lay.is_boundary((1, 1), r)
+    assert lay.is_boundary((3, 0), r)
+    assert lay.is_boundary((3, 3), r)
+    assert lay.is_boundary((0, 3), r)
+
+
+def test_interior_dominates_for_large_regions():
+    lay = LevelLayout(5, 4)  # 32x32 boxes, regions 16x16
+    r = 0
+    boxes = lay.owned_boxes(r)
+    boundary = [b for b in boxes if lay.is_boundary(b, r)]
+    assert len(boundary) < len(boxes) / 4
+
+
+def test_neighbor_ranks_adjacency():
+    lay = LevelLayout(3, 16)
+    for r in lay.active_ranks():
+        for w in lay.neighbor_ranks(r):
+            assert r in lay.neighbor_ranks(w)
+            assert w != r
+
+
+def test_colors_differ_between_neighbors():
+    for p in (4, 16, 64):
+        lay = LevelLayout(4, p)
+        for r in lay.active_ranks():
+            for w in lay.neighbor_ranks(r):
+                assert lay.color(r) != lay.color(w)
+
+
+def test_strip_boxes_within_width():
+    lay = LevelLayout(3, 16)
+    r, w = 0, lay.neighbor_ranks(0)[0]
+    for b in lay.strip_boxes(r, w, 2):
+        assert lay.owner(b) == r
+        assert lay.region_distance(b, w) <= 2
+
+
+def test_halo_boxes_exclude_region():
+    lay = LevelLayout(3, 16)
+    halo = lay.halo_boxes(0, 2)
+    own = set(lay.owned_boxes(0))
+    assert own.isdisjoint(halo)
+    for b in halo:
+        assert lay.region_distance(b, 0) <= 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from([1, 4, 16]), st.integers(min_value=2, max_value=5))
+def test_owner_consistent_with_owned_boxes(p, level):
+    if p > max_ranks_for_tree(level):
+        return
+    lay = LevelLayout(level, p)
+    for r in lay.active_ranks():
+        for b in lay.owned_boxes(r):
+            assert lay.owner(b) == r
+
+
+def test_same_color_boundary_boxes_far_apart():
+    """Sec. III-B: same-color boundary boxes on different ranks have
+    Chebyshev distance > 2 when every rank owns >= 2x2 boxes."""
+    lay = LevelLayout(4, 16)  # 16x16 boxes, regions 4x4
+    by_color: dict[int, list] = {}
+    for r in lay.active_ranks():
+        c = lay.color(r)
+        for b in lay.owned_boxes(r):
+            if lay.is_boundary(b, r):
+                by_color.setdefault(c, []).append((r, b))
+    for c, items in by_color.items():
+        for r1, b1 in items:
+            for r2, b2 in items:
+                if r1 != r2:
+                    d = max(abs(b1[0] - b2[0]), abs(b1[1] - b2[1]))
+                    assert d > 2, (b1, b2, c)

@@ -1,0 +1,76 @@
+"""Tests for the distributed solve phase."""
+
+import numpy as np
+import pytest
+
+from repro.core import SRSOptions
+from repro.geometry import uniform_grid
+from repro.kernels import GaussianKernelMatrix, LaplaceKernelMatrix, dense_matrix
+from repro.parallel import parallel_srs_factor
+from repro.vmpi import INTER_NODE
+
+
+@pytest.fixture(scope="module")
+def pfact():
+    m = 32
+    k = GaussianKernelMatrix(uniform_grid(m), 1.0 / m, sigma=0.05, shift=1.0)
+    fact = parallel_srs_factor(k, 4, opts=SRSOptions(tol=1e-10, leaf_size=32))
+    return k, dense_matrix(k), fact
+
+
+def test_multiple_rhs(pfact, rng):
+    k, a, fact = pfact
+    bs = rng.standard_normal((k.n, 3))
+    xs = fact.solve(bs)
+    assert xs.shape == bs.shape
+    for j in range(3):
+        assert np.linalg.norm(a @ xs[:, j] - bs[:, j]) / np.linalg.norm(bs[:, j]) < 1e-10
+
+
+def test_multi_rhs_matches_single(pfact, rng):
+    k, a, fact = pfact
+    bs = rng.standard_normal((k.n, 2))
+    xs = fact.solve(bs)
+    for j in range(2):
+        assert np.allclose(xs[:, j], fact.solve(bs[:, j]), rtol=1e-12, atol=1e-14)
+
+
+def test_solve_records_timing(pfact, rng):
+    k, a, fact = pfact
+    fact.solve(rng.standard_normal(k.n))
+    assert fact.t_solve > 0
+    assert fact.last_solve_run is not None
+
+
+def test_solve_repeatable(pfact, rng):
+    k, a, fact = pfact
+    b = rng.standard_normal(k.n)
+    assert np.array_equal(fact.solve(b), fact.solve(b))
+
+
+def test_solve_wrong_size(pfact):
+    _, _, fact = pfact
+    with pytest.raises(ValueError):
+        fact.solve(np.zeros(5))
+
+
+def test_solve_cheaper_than_factor(pfact, rng):
+    """t_solve << t_fact — the direct-solver selling point (Sec. I-A)."""
+    k, _, fact = pfact
+    fact.solve(rng.standard_normal(k.n))
+    assert fact.t_solve < fact.t_fact
+
+
+def test_inter_node_cost_model_slower(rng):
+    """Same run under the 1-process-per-node cost model has larger
+    t_other (Table VII's contrast)."""
+    m = 32
+    k = LaplaceKernelMatrix(uniform_grid(m), 1.0 / m)
+    opts = SRSOptions(tol=1e-6, leaf_size=32)
+    fast = parallel_srs_factor(k, 4, opts=opts)
+    slow = parallel_srs_factor(k, 4, opts=opts, cost_model=INTER_NODE)
+    b = rng.standard_normal(k.n)
+    x1, x2 = fast.solve(b), slow.solve(b)
+    assert np.allclose(x1, x2)  # identical numerics
+    # comm bytes identical, simulated comm cost higher or equal
+    assert slow.factor_run.total_bytes == fast.factor_run.total_bytes

@@ -1,0 +1,140 @@
+"""Tests for the perfect quadtree: structure, neighbor sets, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import uniform_grid, random_points
+from repro.tree import QuadTree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return QuadTree(uniform_grid(16), 3)
+
+
+def test_basic_counts(tree):
+    assert tree.nlevels == 3
+    assert tree.nside(3) == 8
+    assert tree.nboxes(3) == 64
+    assert tree.N == 256
+
+
+def test_points_partition(tree):
+    seen = np.zeros(tree.N, dtype=int)
+    for c in tree.nonempty_leaves():
+        seen[tree.leaf_points(*c)] += 1
+    assert np.all(seen == 1)
+
+
+def test_leaf_assignment_geometric(tree):
+    for c in tree.nonempty_leaves():
+        pts = tree.points[tree.leaf_points(*c)]
+        side = tree.box_side(tree.nlevels)
+        lo = np.array(c) * side
+        assert np.all(pts >= lo - 1e-12)
+        assert np.all(pts <= lo + side + 1e-12)
+
+
+def test_uniform_grid_fills_leaves_evenly(tree):
+    sizes = {len(tree.leaf_points(*c)) for c in tree.nonempty_leaves()}
+    assert sizes == {4}  # 256 points over 64 leaves
+
+
+def test_neighbors_symmetric(tree):
+    for level in (1, 2, 3):
+        for box in tree.boxes(level):
+            for nb in tree.neighbors(level, *box):
+                assert box in tree.neighbors(level, *nb)
+
+
+def test_neighbor_count_bounds(tree):
+    for box in tree.boxes(3):
+        nbrs = tree.neighbors(3, *box)
+        assert 3 <= len(nbrs) <= 8  # paper: |N(B)| <= 8
+
+
+def test_dist2_is_exactly_distance_two(tree):
+    for box in tree.boxes(3):
+        for mb in tree.dist2_neighbors(3, *box):
+            assert QuadTree.chebyshev_distance(box, mb) == 2
+
+
+def test_near_and_self_contains_box(tree):
+    for box in tree.boxes(2):
+        disk = tree.near_and_self(2, *box)
+        assert box in disk
+        assert set(tree.neighbors(2, *box)) == set(disk) - {box}
+
+
+def test_m_box_count_bound(tree):
+    # |M(B)| <= 16 (Fig. 2a)
+    for box in tree.boxes(3):
+        assert len(tree.dist2_neighbors(3, *box)) <= 16
+
+
+def test_parent_child_roundtrip(tree):
+    for level in (1, 2):
+        for box in tree.boxes(level):
+            for ch in tree.children(level, *box):
+                assert tree.parent(level + 1, *ch) == box
+
+
+def test_children_morton_order(tree):
+    kids = tree.children(1, 1, 1)
+    assert kids == [(2, 2), (2, 3), (3, 2), (3, 3)]
+
+
+def test_root_has_no_parent(tree):
+    with pytest.raises(ValueError):
+        tree.parent(0, 0, 0)
+
+
+def test_leaves_have_no_children(tree):
+    with pytest.raises(ValueError):
+        tree.children(3, 0, 0)
+
+
+def test_box_geometry(tree):
+    assert tree.box_side(0) == 1.0
+    assert tree.box_side(3) == pytest.approx(1.0 / 8)
+    assert np.allclose(tree.box_center(1, 0, 0), [0.25, 0.25])
+    assert np.allclose(tree.box_center(1, 1, 1), [0.75, 0.75])
+
+
+def test_for_leaf_size_targets_occupancy():
+    pts = uniform_grid(32)  # N = 1024
+    t = QuadTree.for_leaf_size(pts, 64)
+    assert t.nlevels == 2  # 16 leaves x 64 points
+    assert t.max_leaf_occupancy() == 64
+
+
+def test_for_leaf_size_minimum_levels():
+    t = QuadTree.for_leaf_size(uniform_grid(2), 64)
+    assert t.nlevels >= 2
+
+
+def test_points_outside_domain_rejected():
+    with pytest.raises(ValueError):
+        QuadTree(np.array([[1.5, 0.5]]), 2)
+
+
+def test_morton_point_order_sorts_by_leaf(tree):
+    order = tree.morton_point_order()
+    leaves = [tree.leaf_of_point(i) for i in order]
+    # leaf sequence must be non-decreasing in Morton code
+    from repro.geometry.morton import morton_encode
+
+    codes = [morton_encode(ix, iy) for ix, iy in leaves]
+    assert codes == sorted(codes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=2, max_value=4))
+def test_random_cloud_partition_property(n, nlevels):
+    pts = random_points(n, seed=n)
+    t = QuadTree(pts, nlevels)
+    seen = np.zeros(n, dtype=int)
+    for c in t.nonempty_leaves():
+        seen[t.leaf_points(*c)] += 1
+    assert np.all(seen == 1)

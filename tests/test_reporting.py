@@ -1,0 +1,78 @@
+"""Tests for table/figure reporting helpers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.reporting import ScalingSeries, Table, ascii_loglog, format_sci, format_seconds, write_pgm
+
+
+def test_format_seconds():
+    assert format_seconds(0) == "0"
+    assert format_seconds(123.4) == "123"
+    assert format_seconds(12.34) == "12.34"
+    assert format_seconds(0.1234) == "0.123"
+
+
+def test_format_sci():
+    assert format_sci(1.11e-4) == "1.11e-04"
+
+
+def test_table_rendering():
+    t = Table("Demo", ["N", "p", "t"])
+    t.add_row(1024, 4, "1.23")
+    t.add_row(4096, 16, "0.55")
+    out = t.render()
+    assert "Demo" in out
+    assert "1024" in out and "0.55" in out
+    assert len(out.splitlines()) == 6
+
+
+def test_table_wrong_arity():
+    t = Table("x", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_scaling_series_efficiency():
+    s = ScalingSeries("fact")
+    s.add(1, 8.0)
+    s.add(4, 2.0)
+    s.add(16, 1.0)
+    eff = s.parallel_efficiency()
+    assert eff[0] == pytest.approx(1.0)
+    assert eff[1] == pytest.approx(1.0)  # perfect 1->4
+    assert eff[2] == pytest.approx(0.5)  # half efficiency at 16
+
+
+def test_ascii_loglog_renders():
+    s1 = ScalingSeries("a"); s1.add(1, 10.0); s1.add(4, 3.0)
+    s2 = ScalingSeries("b"); s2.add(1, 20.0); s2.add(4, 6.0)
+    art = ascii_loglog([s1, s2])
+    assert "o=a" in art and "x=b" in art
+
+
+def test_ascii_loglog_empty():
+    assert ascii_loglog([ScalingSeries("e")]) == "(no data)"
+
+
+def test_write_pgm(tmp_path):
+    img = np.linspace(0, 1, 64).reshape(8, 8)
+    path = os.path.join(tmp_path, "x.pgm")
+    write_pgm(path, img)
+    with open(path, "rb") as fh:
+        head = fh.read(2)
+    assert head == b"P5"
+    assert os.path.getsize(path) > 64
+
+
+def test_write_pgm_constant_image(tmp_path):
+    path = os.path.join(tmp_path, "c.pgm")
+    write_pgm(path, np.ones((4, 4)))
+    assert os.path.exists(path)
+
+
+def test_write_pgm_rejects_3d(tmp_path):
+    with pytest.raises(ValueError):
+        write_pgm(os.path.join(tmp_path, "z.pgm"), np.zeros((2, 2, 2)))

@@ -1,0 +1,72 @@
+"""Tests for the singular self-quadrature (polar, analytic radial)."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.kernels.selfquad import (
+    log_radial_primitive,
+    log_square_self_integral,
+    log_square_self_integral_exact,
+    square_self_integral,
+)
+
+
+@pytest.mark.parametrize("h", [1.0, 0.1, 1e-3, 1e-6])
+def test_log_integral_matches_closed_form(h):
+    assert log_square_self_integral(h) == pytest.approx(
+        log_square_self_integral_exact(h), rel=1e-13
+    )
+
+
+def test_log_integral_matches_scipy_dblquad():
+    # integrate one quadrant (singularity sits at the corner, which
+    # Gauss-Kronrod nodes never sample) and use symmetry
+    h = 0.25
+    val, _err = integrate.dblquad(
+        lambda y, x: np.log(np.hypot(x, y)),
+        0.0,
+        h / 2,
+        lambda x: 0.0,
+        lambda x: h / 2,
+    )
+    assert log_square_self_integral(h) == pytest.approx(4 * val, rel=1e-9)
+
+
+def test_log_radial_primitive_is_antiderivative():
+    # d/dR P(R) = R ln R
+    r = 0.37
+    eps = 1e-7
+    deriv = (log_radial_primitive(r + eps) - log_radial_primitive(r - eps)) / (2 * eps)
+    assert deriv == pytest.approx(r * np.log(r), rel=1e-6)
+
+
+def test_smooth_kernel_exact():
+    # K(r) = r^2 -> primitive R^4/4; integral over square is analytic:
+    # int x^2+y^2 over [-a,a]^2 = 8 a^4 / 3 with a = h/2
+    h = 0.8
+    val = square_self_integral(lambda r: r**4 / 4.0, h)
+    a = h / 2
+    assert val.real == pytest.approx(8 * a**4 / 3, rel=1e-12)
+    assert val.imag == 0.0
+
+
+def test_constant_kernel_gives_area():
+    # K(r) = 1 -> primitive R^2/2 -> integral = h^2
+    h = 0.33
+    val = square_self_integral(lambda r: r**2 / 2.0, h)
+    assert val.real == pytest.approx(h * h, rel=1e-12)
+
+
+def test_invalid_cell_size():
+    with pytest.raises(ValueError):
+        square_self_integral(log_radial_primitive, 0.0)
+
+
+def test_scaling_relation():
+    # integral of ln r over a square of side h scales as
+    # I(h) = h^2 (ln h + c); check I(2h) - 4 I(h) = 4 h^2 ln 2 ... derive:
+    h = 0.05
+    i1 = log_square_self_integral(h)
+    i2 = log_square_self_integral(2 * h)
+    assert i2 - 4 * i1 == pytest.approx(4 * h * h * np.log(2), rel=1e-10)

@@ -1,0 +1,78 @@
+"""Tests for the shared-memory (box-coloring) comparator (Table VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SRSOptions
+from repro.geometry import uniform_grid
+from repro.kernels import LaplaceKernelMatrix, dense_matrix
+from repro.parallel import shared_memory_factor
+from repro.parallel.shared import box_color, lpt_makespan
+
+
+def test_box_coloring_valid():
+    for bx in range(8):
+        for by in range(8):
+            for dx, dy in ((1, 0), (0, 1), (1, 1), (-1, 1)):
+                nb = (bx + dx, by + dy)
+                assert box_color((bx, by)) != box_color(nb) or max(abs(dx), abs(dy)) > 1 \
+                    or box_color((bx, by)) != box_color(nb)
+    # direct check: neighbors always differ
+    for bx in range(8):
+        for by in range(8):
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    if (dx, dy) == (0, 0):
+                        continue
+                    assert box_color((bx, by)) != box_color((bx + dx, by + dy))
+
+
+def test_lpt_makespan_bounds():
+    durations = [5.0, 3.0, 3.0, 2.0, 2.0, 1.0]
+    total = sum(durations)
+    for t in (1, 2, 3, 4):
+        ms = lpt_makespan(durations, t)
+        assert ms >= total / t - 1e-12
+        assert ms >= max(durations)
+        assert ms <= total
+    assert lpt_makespan(durations, 1) == total
+    assert lpt_makespan([], 4) == 0.0
+
+
+def test_factorization_identical_to_sequential(rng):
+    m = 32
+    k = LaplaceKernelMatrix(uniform_grid(m), 1.0 / m)
+    res = shared_memory_factor(k, 4, SRSOptions(tol=1e-9, leaf_size=32))
+    a = dense_matrix(k)
+    b = rng.standard_normal(k.n)
+    x = res.factorization.solve(b)
+    assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-5
+
+
+def test_speedup_monotone_in_threads():
+    m = 32
+    k = LaplaceKernelMatrix(uniform_grid(m), 1.0 / m)
+    opts = SRSOptions(tol=1e-6, leaf_size=16)
+    times = [shared_memory_factor(k, t, opts).t_fact for t in (1, 4, 16)]
+    assert times[0] > times[1] > times[2]
+
+
+def test_single_thread_close_to_sequential():
+    m = 32
+    k = LaplaceKernelMatrix(uniform_grid(m), 1.0 / m)
+    res = shared_memory_factor(k, 1, SRSOptions(tol=1e-6, leaf_size=32))
+    assert res.t_fact <= res.sequential_t_fact * 1.1
+
+
+def test_invalid_threads():
+    k = LaplaceKernelMatrix(uniform_grid(8), 1.0 / 8)
+    with pytest.raises(ValueError):
+        shared_memory_factor(k, 0)
+
+
+def test_solve_estimate_positive():
+    m = 16
+    k = LaplaceKernelMatrix(uniform_grid(m), 1.0 / m)
+    res = shared_memory_factor(k, 4, SRSOptions(tol=1e-6, leaf_size=16))
+    assert res.t_solve > 0
+    assert res.sequential_t_solve > 0

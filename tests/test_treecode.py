@@ -1,0 +1,121 @@
+"""Tests for the kernel-independent treecode matvec."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import clustered_points, random_points, uniform_grid
+from repro.kernels import GaussianKernelMatrix, LaplaceKernelMatrix, YukawaKernelMatrix
+from repro.matvec import DenseMatVec
+from repro.matvec.treecode import TreecodeMatVec, _interaction_list
+from repro.tree import QuadTree
+
+
+def relerr(a, b):
+    return np.linalg.norm(a - b) / np.linalg.norm(b)
+
+
+def test_interaction_lists_partition_far_field():
+    """Union of interaction lists over levels = full far field, disjoint."""
+    tree = QuadTree(uniform_grid(16), 4)
+    leaf = (5, 9)
+    covered = set()
+    anc = leaf
+    for level in range(4, 1, -1):
+        lst = _interaction_list(tree, level, anc)
+        for c in lst:
+            # expand to leaf boxes below c
+            depth = 4 - level
+            for ddx in range(1 << depth):
+                for ddy in range(1 << depth):
+                    cell = ((c[0] << depth) + ddx, (c[1] << depth) + ddy)
+                    assert cell not in covered, f"double counted {cell}"
+                    covered.add(cell)
+        anc = (anc[0] >> 1, anc[1] >> 1)
+    near = {
+        (leaf[0] + dx, leaf[1] + dy)
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        if 0 <= leaf[0] + dx < 16 and 0 <= leaf[1] + dy < 16
+    }
+    assert covered == {(i, j) for i in range(16) for j in range(16)} - near
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_laplace_random_cloud(seed):
+    n = 900
+    pts = random_points(n, seed=seed)
+    k = LaplaceKernelMatrix(pts, 1.0 / np.sqrt(n))
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    fast = TreecodeMatVec(k, leaf_size=32)
+    exact = DenseMatVec(k)(x)
+    assert relerr(fast(x), exact) < 1e-7
+
+
+def test_clustered_cloud():
+    n = 800
+    pts = clustered_points(n, n_clusters=3, spread=0.05, seed=1)
+    k = YukawaKernelMatrix(pts, 1.0 / np.sqrt(n), 2.0)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(n)
+    fast = TreecodeMatVec(k, leaf_size=32)
+    assert relerr(fast(x), DenseMatVec(k)(x)) < 1e-6
+
+
+def test_non_pde_kernel_is_inaccurate():
+    """Equivalent-surface representations require the kernel to solve a
+    PDE away from sources (Laplace/Helmholtz/Yukawa). A Gaussian kernel
+    violates that, and the treecode error floor shows it — documented
+    limitation shared with real kernel-independent FMMs."""
+    n = 400
+    pts = clustered_points(n, n_clusters=3, spread=0.05, seed=1)
+    k = GaussianKernelMatrix(pts, 1.0 / np.sqrt(n), sigma=0.2, shift=1.0)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(n)
+    err = relerr(TreecodeMatVec(k, leaf_size=32)(x), DenseMatVec(k)(x))
+    assert 1e-9 < err < 0.05
+
+
+def test_uniform_grid_matches_dense():
+    m = 24
+    k = YukawaKernelMatrix(uniform_grid(m), 1.0 / m, 3.0)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(m * m)
+    fast = TreecodeMatVec(k, leaf_size=36)
+    assert relerr(fast(x), DenseMatVec(k)(x)) < 1e-7
+
+
+def test_accuracy_improves_with_equiv_points():
+    n = 600
+    pts = random_points(n, seed=5)
+    k = LaplaceKernelMatrix(pts, 1.0 / np.sqrt(n))
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal(n)
+    exact = DenseMatVec(k)(x)
+    coarse = relerr(TreecodeMatVec(k, leaf_size=32, n_equiv=10)(x), exact)
+    fine = relerr(TreecodeMatVec(k, leaf_size=32, n_equiv=48)(x), exact)
+    assert fine < coarse
+
+
+def test_parameter_validation():
+    k = LaplaceKernelMatrix(uniform_grid(8), 1.0 / 8)
+    with pytest.raises(ValueError):
+        TreecodeMatVec(k, equiv_factor=0.5)
+    with pytest.raises(ValueError):
+        TreecodeMatVec(k, equiv_factor=1.4, check_factor=1.3)
+    with pytest.raises(ValueError):
+        TreecodeMatVec(k, check_factor=2.0)
+
+
+def test_input_validation():
+    k = LaplaceKernelMatrix(uniform_grid(8), 1.0 / 8)
+    tv = TreecodeMatVec(k, leaf_size=16)
+    with pytest.raises(ValueError):
+        tv(np.zeros(3))
+
+
+def test_tree_kernel_mismatch():
+    k = LaplaceKernelMatrix(uniform_grid(8), 1.0 / 8)
+    wrong_tree = QuadTree(uniform_grid(4), 2)
+    with pytest.raises(ValueError):
+        TreecodeMatVec(k, tree=wrong_tree)

@@ -1,0 +1,63 @@
+"""Tests for timers and environment configuration."""
+
+import time
+
+import pytest
+
+from repro.util import Timer, TimingBreakdown, bench_scale, env_flag, env_int
+
+
+def test_timer_accumulates():
+    t = Timer()
+    with t:
+        time.sleep(0.01)
+    with t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.02
+    t.reset()
+    assert t.elapsed == 0.0
+
+
+def test_breakdown_buckets():
+    tb = TimingBreakdown()
+    tb.add("a", 1.0)
+    tb.add("a", 0.5)
+    tb.add("b", 2.0)
+    assert tb["a"] == pytest.approx(1.5)
+    assert tb["missing"] == 0.0
+    assert tb.total() == pytest.approx(3.5)
+
+
+def test_breakdown_measure():
+    tb = TimingBreakdown()
+    with tb.measure("work"):
+        time.sleep(0.005)
+    assert tb["work"] >= 0.005
+
+
+def test_env_int(monkeypatch):
+    monkeypatch.delenv("X_TEST_INT", raising=False)
+    assert env_int("X_TEST_INT", 7) == 7
+    monkeypatch.setenv("X_TEST_INT", "42")
+    assert env_int("X_TEST_INT", 7) == 42
+    monkeypatch.setenv("X_TEST_INT", "nope")
+    with pytest.raises(ValueError):
+        env_int("X_TEST_INT", 7)
+
+
+def test_env_flag(monkeypatch):
+    monkeypatch.delenv("X_TEST_FLAG", raising=False)
+    assert env_flag("X_TEST_FLAG") is False
+    for truthy in ("1", "true", "YES", "on"):
+        monkeypatch.setenv("X_TEST_FLAG", truthy)
+        assert env_flag("X_TEST_FLAG") is True
+    monkeypatch.setenv("X_TEST_FLAG", "0")
+    assert env_flag("X_TEST_FLAG") is False
+
+
+def test_bench_scale_validation(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "1")
+    assert bench_scale() == 1
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "9")
+    with pytest.raises(ValueError):
+        bench_scale()

@@ -1,0 +1,139 @@
+"""Tests for vmpi collectives against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vmpi import run_spmd
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 8, 16])
+def test_bcast(p):
+    def prog(comm):
+        data = {"v": np.arange(10)} if comm.rank == 0 else None
+        out = comm.bcast(data, 0)
+        return out["v"].sum()
+
+    run = run_spmd(p, prog)
+    assert all(r == 45 for r in run.results)
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 8])
+def test_bcast_nonzero_root(p):
+    root = p - 1
+
+    def prog(comm):
+        data = comm.rank if comm.rank == root else None
+        return comm.bcast(data, root)
+
+    run = run_spmd(p, prog)
+    assert all(r == root for r in run.results)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 7, 16])
+def test_reduce_sum(p):
+    def prog(comm):
+        return comm.reduce(comm.rank + 1, lambda a, b: a + b, 0)
+
+    run = run_spmd(p, prog)
+    assert run.results[0] == p * (p + 1) // 2
+    assert all(r is None for r in run.results[1:])
+
+
+@pytest.mark.parametrize("p", [2, 4, 9])
+def test_allreduce_array(p):
+    def prog(comm):
+        return comm.allreduce(np.full(4, comm.rank), lambda a, b: a + b)
+
+    run = run_spmd(p, prog)
+    expected = sum(range(p))
+    for r in run.results:
+        assert np.all(r == expected)
+
+
+@pytest.mark.parametrize("p", [1, 3, 4, 8])
+def test_gather_order(p):
+    def prog(comm):
+        return comm.gather(f"r{comm.rank}", 0)
+
+    run = run_spmd(p, prog)
+    assert run.results[0] == [f"r{i}" for i in range(p)]
+
+
+@pytest.mark.parametrize("p", [1, 4, 6])
+def test_allgather(p):
+    def prog(comm):
+        return comm.allgather(comm.rank * 2)
+
+    run = run_spmd(p, prog)
+    for r in run.results:
+        assert r == [2 * i for i in range(p)]
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+def test_scatter(p):
+    def prog(comm):
+        payload = [np.full(3, i) for i in range(comm.size)] if comm.rank == 0 else None
+        mine = comm.scatter(payload, 0)
+        return int(mine[0])
+
+    run = run_spmd(p, prog)
+    assert run.results == list(range(p))
+
+
+def test_scatter_requires_full_list():
+    def prog(comm):
+        # non-root ranks would block on the scatter message that never
+        # comes (root raises); fail them fast instead of waiting
+        if comm.rank != 0:
+            return None
+        comm.scatter([1], 0)
+
+    with pytest.raises(RuntimeError, match="exactly one payload"):
+        run_spmd(2, prog)
+
+
+def test_barrier_orders_phases():
+    """After a barrier, all pre-barrier sends are receivable."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("hello", 1, tag=4)
+        comm.barrier()
+        if comm.rank == 1:
+            return comm.recv(0, tag=4)
+        return None
+
+    run = run_spmd(3, prog)
+    assert run.results[1] == "hello"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.integers(min_value=-100, max_value=100), min_size=8, max_size=8),
+)
+def test_allreduce_matches_numpy_property(p, values):
+    vals = values[:p]
+
+    def prog(comm):
+        return comm.allreduce(vals[comm.rank], lambda a, b: a + b)
+
+    run = run_spmd(p, prog)
+    assert all(r == sum(vals) for r in run.results)
+
+
+def test_collectives_compose_repeatedly():
+    """Many collectives in sequence don't cross-talk."""
+
+    def prog(comm):
+        out = []
+        for k in range(5):
+            out.append(comm.allreduce(comm.rank + k, lambda a, b: a + b))
+            comm.barrier()
+        return out
+
+    p = 4
+    run = run_spmd(p, prog)
+    for r in run.results:
+        assert r == [sum(range(p)) + k * p for k in range(5)]

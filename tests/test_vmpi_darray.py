@@ -1,0 +1,143 @@
+"""Tests for the distributed array (DistributedArrays.jl contract)."""
+
+import numpy as np
+import pytest
+
+from repro.vmpi import run_spmd
+from repro.vmpi.darray import DArray, block_bounds
+
+
+def test_block_bounds_partition():
+    for n in (0, 1, 7, 16, 100):
+        for size in (1, 2, 3, 7):
+            cover = []
+            for r in range(size):
+                lo, hi = block_bounds(n, size, r)
+                assert lo <= hi
+                cover.extend(range(lo, hi))
+            assert cover == list(range(n))
+
+
+def test_local_read_write():
+    def prog(comm):
+        arr = DArray(comm, 10)
+        for i in range(arr.lo, arr.hi):
+            arr[i] = float(i)
+        return [arr[i] for i in range(arr.lo, arr.hi)]
+
+    run = run_spmd(4, prog)
+    flat = [v for sub in run.results for v in sub]
+    assert flat == [float(i) for i in range(10)]
+
+
+def test_remote_read_denied():
+    def prog(comm):
+        arr = DArray(comm, 8)
+        if comm.rank == 1:
+            with pytest.raises(PermissionError, match="remote"):
+                arr[0]  # rank 0's row
+        comm.barrier()
+
+    run_spmd(2, prog)
+
+
+def test_remote_write_denied():
+    def prog(comm):
+        arr = DArray(comm, 8)
+        if comm.rank == 0:
+            with pytest.raises(PermissionError, match="read-only"):
+                arr[7] = 1.0
+        comm.barrier()
+
+    run_spmd(2, prog)
+
+
+def test_fetch_serve_roundtrip():
+    def prog(comm):
+        arr = DArray(comm, 12)
+        for i in range(arr.lo, arr.hi):
+            arr[i] = 100.0 + i
+        comm.barrier()
+        if comm.rank == 1:
+            want = np.array([0, 2])
+            got = arr.fetch_remote(want, 0)
+            return got.tolist()
+        if comm.rank == 0:
+            arr.serve(1)
+        return None
+
+    run = run_spmd(3, prog)
+    assert run.results[1] == [100.0, 102.0]
+
+
+def test_serve_rejects_nonlocal_request():
+    def prog(comm):
+        arr = DArray(comm, 8)
+        if comm.rank == 1:
+            comm.send(np.array([7]), 0, tag=-100)  # rank 0 does not own 7
+            return None
+        if comm.rank == 0:
+            with pytest.raises(IndexError, match="non-local"):
+                arr.serve(1)
+        return None
+
+    run_spmd(2, prog)
+
+
+def test_gather_and_from_global(rng):
+    values = rng.standard_normal(17)
+
+    def prog(comm):
+        arr = DArray.from_global(comm, values if comm.rank == 0 else None)
+        full = arr.gather(0)
+        return None if full is None else full
+
+    run = run_spmd(4, prog)
+    assert np.allclose(run.results[0], values)
+    assert all(r is None for r in run.results[1:])
+
+
+def test_from_global_matrix(rng):
+    values = rng.standard_normal((9, 3))
+
+    def prog(comm):
+        arr = DArray.from_global(comm, values if comm.rank == 0 else None)
+        assert arr.local.shape[1] == 3
+        return arr.gather(0)
+
+    run = run_spmd(2, prog)
+    assert np.allclose(run.results[0], values)
+
+
+def test_global_norm(rng):
+    values = rng.standard_normal(25)
+
+    def prog(comm):
+        arr = DArray.from_global(comm, values if comm.rank == 0 else None)
+        return arr.norm()
+
+    run = run_spmd(4, prog)
+    for r in run.results:
+        assert r == pytest.approx(np.linalg.norm(values))
+
+
+def test_owner_consistency():
+    def prog(comm):
+        arr = DArray(comm, 10)
+        return [arr.owner(i) for i in range(10)]
+
+    run = run_spmd(3, prog)
+    assert run.results[0] == run.results[1] == run.results[2]
+    owners = run.results[0]
+    assert owners == sorted(owners)  # blocks are contiguous
+
+
+def test_invalid_sizes():
+    def prog(comm):
+        with pytest.raises(ValueError):
+            DArray(comm, -1)
+        arr = DArray(comm, 4)
+        with pytest.raises(IndexError):
+            arr.owner(4)
+
+    run_spmd(1, prog)

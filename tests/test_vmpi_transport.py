@@ -1,0 +1,132 @@
+"""Tests for the vmpi transport, payload accounting, and isolation."""
+
+import numpy as np
+import pytest
+
+from repro.vmpi import run_spmd, DeadlockError
+from repro.vmpi.transport import Transport, payload_nbytes, sanitize
+
+
+def test_payload_nbytes_arrays():
+    assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+    assert payload_nbytes(np.zeros((3, 4), dtype=np.complex128)) == 192
+
+
+def test_payload_nbytes_containers():
+    n = payload_nbytes({"a": np.zeros(2), "b": [np.zeros(3), 1.5]})
+    assert n >= 16 + 24 + 16
+
+
+def test_sanitize_copies_arrays():
+    a = np.arange(5)
+    out = sanitize({"x": a, "y": (a, [a])})
+    out["x"][0] = 99
+    assert a[0] == 0
+    out["y"][1][0][1] = 98
+    assert a[1] == 1
+
+
+def test_sanitize_preserves_scalars_and_tuples():
+    obj = (1, 2.5, "s", None, True)
+    assert sanitize(obj) == obj
+
+
+def test_transport_validation():
+    with pytest.raises(ValueError):
+        Transport(0)
+
+
+def test_message_isolation_between_ranks():
+    """A rank mutating received data must not affect the sender."""
+
+    def prog(comm):
+        data = np.arange(100)
+        if comm.rank == 0:
+            comm.send(data, 1, tag=1)
+            comm.barrier()
+            return data.sum()
+        if comm.rank == 1:
+            got = comm.recv(0, tag=1)
+            got[:] = -1
+            comm.barrier()
+            return got.sum()
+        comm.barrier()
+        return None
+
+    run = run_spmd(2, prog)
+    assert run.results[0] == np.arange(100).sum()  # sender unaffected
+    assert run.results[1] == -100
+
+
+def test_out_of_order_tags_buffered():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("second", 1, tag=2)
+            comm.send("first", 1, tag=1)
+            return None
+        a = comm.recv(0, tag=1)
+        b = comm.recv(0, tag=2)
+        return (a, b)
+
+    run = run_spmd(2, prog)
+    assert run.results[1] == ("first", "second")
+
+
+def test_fifo_per_source_tag():
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.send(i, 1, tag=7)
+            return None
+        return [comm.recv(0, tag=7) for _ in range(5)]
+
+    run = run_spmd(2, prog)
+    assert run.results[1] == [0, 1, 2, 3, 4]
+
+
+def test_deadlock_detection():
+    def prog(comm):
+        if comm.rank == 1:
+            comm.recv(0, tag=9)  # nobody sends
+
+    from repro.vmpi.comm import Comm
+
+    old = Comm.TIMEOUT
+    Comm.TIMEOUT = 0.2
+    try:
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd(2, prog)
+    finally:
+        Comm.TIMEOUT = old
+
+
+def test_self_send_rejected():
+    def prog(comm):
+        comm.send(1, comm.rank)
+
+    with pytest.raises(RuntimeError):
+        run_spmd(1, prog)
+
+
+def test_worker_exception_propagates():
+    def prog(comm):
+        if comm.rank == 2:
+            raise ValueError("boom")
+        return comm.rank
+
+    with pytest.raises(RuntimeError, match="rank 2"):
+        run_spmd(4, prog)
+
+
+def test_counters_track_messages():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(125), 1, tag=3)  # 1000 bytes
+        elif comm.rank == 1:
+            comm.recv(0, tag=3)
+
+    run = run_spmd(2, prog)
+    assert run.reports[0].messages_sent == 1
+    assert run.reports[0].bytes_sent == 1000
+    assert run.reports[1].messages_received == 1
+    assert run.reports[1].bytes_received == 1000
