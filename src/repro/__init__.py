@@ -33,6 +33,14 @@ from repro.parallel import (
     shared_memory_factor,
 )
 from repro.apps import LaplaceVolumeProblem, ScatteringProblem, plane_wave
+from repro.bie import (
+    Circle,
+    Ellipse,
+    InteriorDirichletProblem,
+    Kite,
+    SoundSoftScattering,
+    StarCurve,
+)
 from repro.kernels import (
     GaussianKernelMatrix,
     HelmholtzKernelMatrix,
@@ -57,6 +65,12 @@ __all__ = [
     "LaplaceVolumeProblem",
     "ScatteringProblem",
     "plane_wave",
+    "Circle",
+    "Ellipse",
+    "StarCurve",
+    "Kite",
+    "InteriorDirichletProblem",
+    "SoundSoftScattering",
     "KernelMatrix",
     "LaplaceKernelMatrix",
     "HelmholtzKernelMatrix",

@@ -1,6 +1,14 @@
-"""Application problem setups from the paper's evaluation (Sec. V)."""
+"""Application problem setups: the paper's volume IEs (Sec. V) plus the
+boundary-integral drivers from :mod:`repro.bie`."""
 
 from repro.apps.laplace_volume import LaplaceVolumeProblem
 from repro.apps.scattering import ScatteringProblem, plane_wave
+from repro.bie.solves import InteriorDirichletProblem, SoundSoftScattering
 
-__all__ = ["LaplaceVolumeProblem", "ScatteringProblem", "plane_wave"]
+__all__ = [
+    "LaplaceVolumeProblem",
+    "ScatteringProblem",
+    "plane_wave",
+    "InteriorDirichletProblem",
+    "SoundSoftScattering",
+]

@@ -22,16 +22,9 @@ from repro.kernels.helmholtz import (
     gaussian_bump,
     hankel_cell_self_integral,
     helmholtz_greens,
+    plane_wave,
 )
 from repro.matvec.toeplitz import FFTMatVec
-
-
-def plane_wave(points: np.ndarray, kappa: float, direction=(1.0, 0.0)) -> np.ndarray:
-    """Incident plane wave ``exp(i kappa d . x)`` (paper: traveling right)."""
-    d = np.asarray(direction, dtype=float)
-    d = d / np.linalg.norm(d)
-    phase = kappa * (points @ d)
-    return np.exp(1j * phase)
 
 
 @dataclass

@@ -1,0 +1,240 @@
+"""Parametrized smooth closed curves for boundary integral equations.
+
+Every curve is a smooth injective map ``x : [0, 2 pi) -> R^2`` traversed
+*counterclockwise*, given by analytic position/velocity/acceleration.
+Derived quantities follow from the parametrization:
+
+* speed ``|x'(t)|`` (the arc-length Jacobian of the trapezoid rule),
+* outward unit normal ``n = (y', -x') / |x'|`` (right of the direction
+  of travel, which points outward for a counterclockwise curve),
+* signed curvature ``kappa = (x' y'' - y' x'') / |x'|^3`` (positive for
+  a counterclockwise circle).
+
+``Curve.discretize(n)`` produces the periodic-trapezoid Nystrom node
+set used by :mod:`repro.bie.layers`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Curve(ABC):
+    """A smooth closed planar curve, parametrized over ``[0, 2 pi)``."""
+
+    @abstractmethod
+    def point(self, t: np.ndarray) -> np.ndarray:
+        """Positions ``x(t)``, shape ``(len(t), 2)``."""
+
+    @abstractmethod
+    def velocity(self, t: np.ndarray) -> np.ndarray:
+        """First derivative ``x'(t)``, shape ``(len(t), 2)``."""
+
+    @abstractmethod
+    def acceleration(self, t: np.ndarray) -> np.ndarray:
+        """Second derivative ``x''(t)``, shape ``(len(t), 2)``."""
+
+    # ------------------------------------------------------------------
+    def speed(self, t: np.ndarray) -> np.ndarray:
+        v = self.velocity(t)
+        return np.hypot(v[:, 0], v[:, 1])
+
+    def normal(self, t: np.ndarray) -> np.ndarray:
+        """Outward unit normal (counterclockwise parametrization)."""
+        v = self.velocity(t)
+        s = np.hypot(v[:, 0], v[:, 1])
+        return np.column_stack([v[:, 1] / s, -v[:, 0] / s])
+
+    def curvature(self, t: np.ndarray) -> np.ndarray:
+        v = self.velocity(t)
+        a = self.acceleration(t)
+        s = np.hypot(v[:, 0], v[:, 1])
+        return (v[:, 0] * a[:, 1] - v[:, 1] * a[:, 0]) / s**3
+
+    def arc_length(self, n: int = 2048) -> float:
+        """Perimeter by the (spectrally accurate) trapezoid rule."""
+        t = trapezoid_nodes(n)
+        return float(np.sum(self.speed(t)) * (2.0 * np.pi / n))
+
+    def discretize(self, n: int) -> "BoundaryDiscretization":
+        """Equispaced-parameter Nystrom discretization with ``n`` nodes."""
+        if n < 8:
+            raise ValueError(f"need at least 8 boundary nodes, got {n}")
+        t = trapezoid_nodes(n)
+        speed = self.speed(t)
+        return BoundaryDiscretization(
+            curve=self,
+            t=t,
+            points=self.point(t),
+            normals=self.normal(t),
+            speed=speed,
+            weights=(2.0 * np.pi / n) * speed,
+            curvature=self.curvature(t),
+        )
+
+    def interior_point(self) -> np.ndarray:
+        """A point safely inside the curve (the centroid of the nodes)."""
+        t = trapezoid_nodes(256)
+        return self.point(t).mean(axis=0)
+
+
+def trapezoid_nodes(n: int) -> np.ndarray:
+    """The periodic trapezoid nodes ``t_j = 2 pi j / n``."""
+    return 2.0 * np.pi * np.arange(n) / n
+
+
+@dataclass
+class BoundaryDiscretization:
+    """Nystrom node data on a closed curve.
+
+    ``weights`` are the arc-length trapezoid weights
+    ``(2 pi / n) |x'(t_j)|``, so ``sum(weights)`` approximates the
+    perimeter to spectral accuracy.
+    """
+
+    curve: Curve
+    t: np.ndarray
+    points: np.ndarray
+    normals: np.ndarray
+    speed: np.ndarray
+    weights: np.ndarray
+    curvature: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.t.size
+
+    def max_spacing(self) -> float:
+        """Largest arc-length distance between consecutive nodes."""
+        return float(self.speed.max()) * 2.0 * np.pi / self.n
+
+
+# ----------------------------------------------------------------------
+# concrete curves
+# ----------------------------------------------------------------------
+class Circle(Curve):
+    """Circle of given radius and center."""
+
+    def __init__(self, radius: float = 1.0, center=(0.0, 0.0)):
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        self.radius = float(radius)
+        self.center = np.asarray(center, dtype=float)
+
+    def point(self, t):
+        t = np.asarray(t, dtype=float)
+        return self.center + self.radius * np.column_stack([np.cos(t), np.sin(t)])
+
+    def velocity(self, t):
+        t = np.asarray(t, dtype=float)
+        return self.radius * np.column_stack([-np.sin(t), np.cos(t)])
+
+    def acceleration(self, t):
+        t = np.asarray(t, dtype=float)
+        return self.radius * np.column_stack([-np.cos(t), -np.sin(t)])
+
+
+class Ellipse(Curve):
+    """Axis-aligned ellipse with semi-axes ``a`` (x) and ``b`` (y)."""
+
+    def __init__(self, a: float = 1.0, b: float = 0.5, center=(0.0, 0.0)):
+        if a <= 0 or b <= 0:
+            raise ValueError(f"semi-axes must be positive, got a={a}, b={b}")
+        self.a = float(a)
+        self.b = float(b)
+        self.center = np.asarray(center, dtype=float)
+
+    def point(self, t):
+        t = np.asarray(t, dtype=float)
+        return self.center + np.column_stack([self.a * np.cos(t), self.b * np.sin(t)])
+
+    def velocity(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.column_stack([-self.a * np.sin(t), self.b * np.cos(t)])
+
+    def acceleration(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.column_stack([-self.a * np.cos(t), -self.b * np.sin(t)])
+
+
+class StarCurve(Curve):
+    """Smooth star ``r(t) = R (1 + amplitude cos(arms t))``.
+
+    ``amplitude < 1`` keeps the radius positive; the curve stays smooth
+    (trigonometric polynomial) for spectral trapezoid convergence.
+    """
+
+    def __init__(self, radius: float = 1.0, amplitude: float = 0.3, arms: int = 5, center=(0.0, 0.0)):
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        if not (0 <= amplitude < 1):
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        if arms < 1:
+            raise ValueError(f"arms must be >= 1, got {arms}")
+        self.radius = float(radius)
+        self.amplitude = float(amplitude)
+        self.arms = int(arms)
+        self.center = np.asarray(center, dtype=float)
+
+    def _r(self, t):
+        return self.radius * (1.0 + self.amplitude * np.cos(self.arms * t))
+
+    def _dr(self, t):
+        return -self.radius * self.amplitude * self.arms * np.sin(self.arms * t)
+
+    def _ddr(self, t):
+        return -self.radius * self.amplitude * self.arms**2 * np.cos(self.arms * t)
+
+    def point(self, t):
+        t = np.asarray(t, dtype=float)
+        r = self._r(t)
+        return self.center + np.column_stack([r * np.cos(t), r * np.sin(t)])
+
+    def velocity(self, t):
+        t = np.asarray(t, dtype=float)
+        r, dr = self._r(t), self._dr(t)
+        c, s = np.cos(t), np.sin(t)
+        return np.column_stack([dr * c - r * s, dr * s + r * c])
+
+    def acceleration(self, t):
+        t = np.asarray(t, dtype=float)
+        r, dr, ddr = self._r(t), self._dr(t), self._ddr(t)
+        c, s = np.cos(t), np.sin(t)
+        return np.column_stack(
+            [ddr * c - 2.0 * dr * s - r * c, ddr * s + 2.0 * dr * c - r * s]
+        )
+
+
+class Kite(Curve):
+    """The Colton--Kress kite ``(cos t + 0.65 cos 2t - 0.65, 1.5 sin t)``.
+
+    A standard non-convex scattering obstacle; ``scale`` and ``center``
+    place it in the plane.
+    """
+
+    def __init__(self, scale: float = 1.0, center=(0.0, 0.0)):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+        self.center = np.asarray(center, dtype=float)
+
+    def point(self, t):
+        t = np.asarray(t, dtype=float)
+        x = np.cos(t) + 0.65 * np.cos(2.0 * t) - 0.65
+        y = 1.5 * np.sin(t)
+        return self.center + self.scale * np.column_stack([x, y])
+
+    def velocity(self, t):
+        t = np.asarray(t, dtype=float)
+        return self.scale * np.column_stack(
+            [-np.sin(t) - 1.3 * np.sin(2.0 * t), 1.5 * np.cos(t)]
+        )
+
+    def acceleration(self, t):
+        t = np.asarray(t, dtype=float)
+        return self.scale * np.column_stack(
+            [-np.cos(t) - 2.6 * np.cos(2.0 * t), -1.5 * np.sin(t)]
+        )

@@ -1,0 +1,103 @@
+"""Periodic trapezoid Nystrom quadrature and Kapur--Rokhlin corrections.
+
+For a smooth periodic integrand the equispaced trapezoid rule converges
+spectrally, so Nystrom matrices of *smooth* layer kernels (e.g. the
+Laplace double layer on an analytic curve) need no correction beyond
+the analytic diagonal limit.
+
+Log-singular kernels (single layers; the Helmholtz layers) are handled
+by the Kapur--Rokhlin locally corrected trapezoid rule (Kapur &
+Rokhlin, SIAM J. Numer. Anal. 34, 1997): for an integrand of the form
+``phi(s) ln|s - s_i| + psi(s)`` the punctured trapezoid sum (skipping
+``s_i``) plus corrections at the ``k`` nearest nodes on each side,
+
+    h * sum_{j != i} f(s_j)  +  h * sum_{l=1..k} gamma_l (f(s_{i-l}) + f(s_{i+l})),
+
+is accurate to order ``h^k`` (k = 2, 6, 10). In matrix terms the
+quadrature weight of node ``j`` in row ``i`` is scaled by
+``1 + gamma_{d(i,j)}`` when the periodic index distance ``d(i, j)`` is
+``<= k``, and the ``j = i`` entry is dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Kapur--Rokhlin correction weights ``gamma_1..gamma_k`` for the
+#: symmetric log-singularity rules of order 2, 6 and 10 (Kapur--Rokhlin
+#: 1997; as tabulated in Hao, Barnett, Martinsson & Young 2014).
+KAPUR_ROKHLIN_GAMMA: dict[int, np.ndarray] = {
+    2: np.array([1.825748064736159, -1.325748064736159]),
+    6: np.array(
+        [
+            4.967362978287758,
+            -16.20501504859126,
+            25.85153761832639,
+            -22.22599466791883,
+            9.930104998037539,
+            -1.817995878141594,
+        ]
+    ),
+    10: np.array(
+        [
+            7.832432020568779,
+            -4.565161670374749e1,
+            1.452168846354677e2,
+            -2.901348302886379e2,
+            3.870862162579900e2,
+            -3.523821383570681e2,
+            2.172421547519342e2,
+            -8.707796087382991e1,
+            2.053584266072635e1,
+            -2.166984103403823,
+        ]
+    ),
+}
+
+
+def kapur_rokhlin_gamma(order: int) -> np.ndarray:
+    """Correction weights for the given rule order (2, 6 or 10)."""
+    try:
+        return KAPUR_ROKHLIN_GAMMA[order]
+    except KeyError:
+        raise ValueError(
+            f"Kapur-Rokhlin order must be one of {sorted(KAPUR_ROKHLIN_GAMMA)}, got {order}"
+        ) from None
+
+
+def circular_index_distance(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray:
+    """Periodic index distance matrix ``d(i, j)`` on ``Z_n``."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    d = np.abs(rows[:, None] - cols[None, :]) % n
+    return np.minimum(d, n - d)
+
+
+def kr_weight_factors(rows: np.ndarray, cols: np.ndarray, n: int, order: int) -> np.ndarray:
+    """Multiplicative quadrature-weight factors of the Kapur--Rokhlin rule.
+
+    Returns the matrix ``F`` with ``F[a, b] = 1 + gamma_d`` when the
+    periodic distance ``d`` between global node indices ``rows[a]`` and
+    ``cols[b]`` is ``1 <= d <= order``, ``0`` on coincident indices
+    (the rule punctures the singular node), and ``1`` elsewhere.
+    """
+    gamma = kapur_rokhlin_gamma(order)
+    if n <= 2 * order:
+        raise ValueError(
+            f"Kapur-Rokhlin order {order} needs more than {2 * order} nodes, got {n}"
+        )
+    d = circular_index_distance(rows, cols, n)
+    factors = np.ones(d.shape)
+    near = (d >= 1) & (d <= order)
+    factors[near] += gamma[d[near] - 1]
+    factors[d == 0] = 0.0
+    return factors
+
+
+def kr_quadrature_row(n: int, i: int, order: int) -> np.ndarray:
+    """Full row of corrected trapezoid weights (in units of ``h = 2 pi / n``).
+
+    Convenience for direct quadrature tests: ``w[j] = h * F[i, j]``.
+    """
+    factors = kr_weight_factors(np.array([i]), np.arange(n), n, order)[0]
+    return factors * (2.0 * np.pi / n)

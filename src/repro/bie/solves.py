@@ -1,0 +1,245 @@
+"""High-level boundary-integral solvers with analytic validation.
+
+Two drivers, mirroring the volume apps in :mod:`repro.apps`:
+
+* :class:`InteriorDirichletProblem` — interior Laplace Dirichlet via the
+  second-kind double-layer ansatz ``u = D tau``,
+  ``(-1/2 I + D) tau = f``; validated against harmonic test solutions.
+* :class:`SoundSoftScattering` — exterior Helmholtz Dirichlet (sound-soft
+  obstacle) via the combined-field ansatz ``u_s = (D - i eta S) sigma``,
+  ``(1/2 I + D - i eta S) sigma = g``; validated against the field of a
+  point source placed inside the obstacle.
+
+Both build a quadtree from the curve's bounding box and solve either
+directly with the RS-S factorization or iteratively with (RS-S
+preconditioned) GMRES.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bie.curves import Curve
+from repro.bie.layers import HelmholtzCFIE, LaplaceDLP
+from repro.core.factorization import SRSFactorization, srs_factor
+from repro.core.options import SRSOptions
+from repro.iterative.gmres import GMRESResult, gmres
+from repro.kernels.base import dense_matrix
+from repro.kernels.helmholtz import helmholtz_greens, plane_wave
+from repro.matvec.dense import DenseMatVec
+from repro.matvec.treecode import TreecodeMatVec
+from repro.tree.quadtree import QuadTree
+
+
+# ----------------------------------------------------------------------
+# analytic reference solutions
+# ----------------------------------------------------------------------
+def harmonic_polynomial(points: np.ndarray, degree: int = 3) -> np.ndarray:
+    """``Re((x + i y)^degree)`` — a harmonic polynomial."""
+    pts = np.atleast_2d(points)
+    z = pts[:, 0] + 1j * pts[:, 1]
+    return (z**degree).real
+
+
+def harmonic_exponential(points: np.ndarray) -> np.ndarray:
+    """``Re(exp(x + i y)) = e^x cos y`` — an entire harmonic function."""
+    pts = np.atleast_2d(points)
+    return np.exp(pts[:, 0]) * np.cos(pts[:, 1])
+
+
+def point_source_field(targets: np.ndarray, source, kappa: float) -> np.ndarray:
+    """Radiating Helmholtz point source ``(i/4) H0^(1)(kappa |x - s|)``."""
+    src = np.asarray(source, dtype=float).reshape(1, 2)
+    return helmholtz_greens(np.atleast_2d(targets), src, kappa)[:, 0]
+
+
+# ----------------------------------------------------------------------
+class _BoundaryProblem:
+    """Shared plumbing: discretization, tree, factorization, matvecs."""
+
+    def __init__(self, curve: Curve, n: int, *, leaf_size: int = 64):
+        self.curve = curve
+        self.n = int(n)
+        self.bd = curve.discretize(self.n)
+        self.leaf_size = int(leaf_size)
+        self.kernel = self._build_kernel()
+        self.tree = QuadTree.for_leaf_size(self.bd.points, self.leaf_size)
+        self.kernel.check_tree_resolution(self.tree)  # fail at construction
+        self.matvec = DenseMatVec(self.kernel)
+
+    def _build_kernel(self):
+        raise NotImplementedError
+
+    def factor(self, opts: SRSOptions | None = None) -> SRSFactorization:
+        """RS-S factorization of the boundary operator over the curve tree."""
+        opts = opts or SRSOptions(tol=1e-10)
+        return srs_factor(self.kernel, tree=self.tree, opts=opts)
+
+    def dense(self) -> np.ndarray:
+        """Full Nystrom matrix (small problems / reference only)."""
+        return dense_matrix(self.kernel)
+
+    def solve_dense(self, rhs: np.ndarray) -> np.ndarray:
+        return np.linalg.solve(self.dense(), rhs)
+
+    def treecode(self, **kwargs) -> TreecodeMatVec:
+        """O(N log N) matvec sharing the factorization's tree."""
+        return TreecodeMatVec(self.kernel, tree=self.tree, **kwargs)
+
+    def relres(self, x: np.ndarray, b: np.ndarray) -> float:
+        r = self.matvec(x) - b
+        return float(np.linalg.norm(r) / np.linalg.norm(b))
+
+    def _shifted_targets(self, factor: float, k: int) -> np.ndarray:
+        """Curve scaled about its centroid — inside (<1) or outside (>1)."""
+        t = 2.0 * np.pi * (np.arange(k) + 0.37) / k
+        c = self.curve.interior_point()
+        return c + factor * (self.curve.point(t) - c)
+
+
+class InteriorDirichletProblem(_BoundaryProblem):
+    """Interior Laplace Dirichlet problem ``(-1/2 I + D) tau = f``.
+
+    Parameters
+    ----------
+    curve:
+        The (counterclockwise, smooth) boundary.
+    n:
+        Number of Nystrom nodes.
+    """
+
+    def _build_kernel(self) -> LaplaceDLP:
+        return LaplaceDLP(self.bd, identity=-0.5)
+
+    def boundary_data(self, u_exact) -> np.ndarray:
+        """Dirichlet data ``f = u_exact`` sampled on the nodes."""
+        return np.asarray(u_exact(self.bd.points), dtype=float)
+
+    def evaluate(self, tau: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """The solution ``u = D tau`` at interior targets."""
+        return self.kernel.potential(targets, tau)
+
+    def interior_targets(self, k: int = 24, shrink: float = 0.5) -> np.ndarray:
+        """``k`` evaluation points well inside the curve."""
+        if not (0 < shrink < 1):
+            raise ValueError(f"shrink must be in (0, 1), got {shrink}")
+        return self._shifted_targets(shrink, k)
+
+    def solve_error(
+        self,
+        u_exact,
+        fact: SRSFactorization | None = None,
+        *,
+        targets: np.ndarray | None = None,
+    ) -> float:
+        """Relative max-norm error of the RS-S direct solve vs ``u_exact``."""
+        fact = fact or self.factor()
+        tau = fact.solve(self.boundary_data(u_exact))
+        tgt = self.interior_targets() if targets is None else targets
+        u = self.evaluate(tau, tgt)
+        ref = np.asarray(u_exact(tgt), dtype=float)
+        return float(np.max(np.abs(u - ref)) / np.max(np.abs(ref)))
+
+
+class SoundSoftScattering(_BoundaryProblem):
+    """Exterior sound-soft Helmholtz scattering via the CFIE.
+
+    Parameters
+    ----------
+    curve:
+        The obstacle boundary.
+    n:
+        Number of Nystrom nodes (keep several points per wavelength:
+        ``n >= ~10 kappa * radius``).
+    kappa:
+        Wave number.
+    eta:
+        CFIE coupling (defaults to ``kappa``).
+    kr_order:
+        Kapur--Rokhlin correction order for the log-singular kernels.
+    """
+
+    def __init__(
+        self,
+        curve: Curve,
+        n: int,
+        kappa: float,
+        *,
+        eta: float | None = None,
+        kr_order: int = 6,
+        leaf_size: int = 64,
+    ):
+        self.kappa = float(kappa)
+        self.eta = eta
+        self.kr_order = int(kr_order)
+        super().__init__(curve, n, leaf_size=leaf_size)
+
+    def _build_kernel(self) -> HelmholtzCFIE:
+        return HelmholtzCFIE(
+            self.bd, self.kappa, eta=self.eta, identity=0.5, kr_order=self.kr_order
+        )
+
+    # -- right-hand sides ----------------------------------------------
+    def rhs_plane_wave(self, direction=(1.0, 0.0)) -> np.ndarray:
+        """Sound-soft data ``g = -u_inc`` on the boundary."""
+        return -plane_wave(self.bd.points, self.kappa, direction)
+
+    def rhs_point_source(self, source=None) -> np.ndarray:
+        """Boundary trace of an interior point source (validation setup).
+
+        The solve must then reproduce the point-source field at every
+        exterior target (the scattered field *is* the source field).
+        """
+        src = self.curve.interior_point() if source is None else source
+        return point_source_field(self.bd.points, src, self.kappa)
+
+    # -- solves ---------------------------------------------------------
+    def pgmres(
+        self,
+        fact: SRSFactorization,
+        b: np.ndarray,
+        *,
+        tol: float = 1e-10,
+        maxiter: int = 300,
+        matvec=None,
+    ) -> GMRESResult:
+        """GMRES with the RS-S factorization as right preconditioner."""
+        return gmres(
+            matvec or self.matvec, b, preconditioner=fact.solve,
+            tol=tol, restart=50, maxiter=maxiter,
+        )
+
+    def unpreconditioned_gmres(
+        self, b: np.ndarray, *, tol: float = 1e-10, maxiter: int = 2000, matvec=None
+    ) -> GMRESResult:
+        return gmres(matvec or self.matvec, b, tol=tol, restart=50, maxiter=maxiter)
+
+    # -- fields ----------------------------------------------------------
+    def scattered_field(self, sigma: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """``u_s = (D - i eta S) sigma`` at exterior targets."""
+        return self.kernel.potential(targets, sigma)
+
+    def total_field(
+        self, sigma: np.ndarray, targets: np.ndarray, direction=(1.0, 0.0)
+    ) -> np.ndarray:
+        return plane_wave(targets, self.kappa, direction) + self.scattered_field(
+            sigma, targets
+        )
+
+    def exterior_targets(self, k: int = 24, expand: float = 1.8) -> np.ndarray:
+        """``k`` evaluation points outside the obstacle."""
+        if expand <= 1:
+            raise ValueError(f"expand must be > 1, got {expand}")
+        return self._shifted_targets(expand, k)
+
+    def point_source_error(
+        self, fact: SRSFactorization | None = None, *, source=None
+    ) -> float:
+        """Relative error of the direct CFIE solve vs an interior source."""
+        fact = fact or self.factor()
+        src = self.curve.interior_point() if source is None else source
+        sigma = fact.solve(self.rhs_point_source(src))
+        tgt = self.exterior_targets()
+        u = self.scattered_field(sigma, tgt)
+        ref = point_source_field(tgt, src, self.kappa)
+        return float(np.max(np.abs(u - ref)) / np.max(np.abs(ref)))

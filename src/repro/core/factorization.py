@@ -55,6 +55,30 @@ class SRSFactorization:
 
     __call__ = solve
 
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Forward-apply the *compressed* operator: ``y ~= A x``.
+
+        The factorization stores ``A ~= V_1^{-1} .. V_K^{-1} W_K^{-1} .. W_1^{-1}``,
+        so the forward product applies the exact inverses of the solve
+        sweeps in opposite order. Agreement with an independent matvec
+        (FFT/dense/treecode) to roughly the ID tolerance is a cheap
+        end-to-end sanity check of a factorization; it is *not* a fast
+        general-purpose matvec (use :mod:`repro.matvec` for that).
+
+        Accepts ``(N,)`` vectors or ``(N, nrhs)`` blocks, promoting the
+        dtype like :meth:`solve` (complex RHS on a real factorization
+        stays complex).
+        """
+        x = np.asarray(x)
+        if x.shape[0] != self.n:
+            raise ValueError(f"operand has {x.shape[0]} rows, expected {self.n}")
+        y = x.astype(np.result_type(self.dtype, x.dtype), copy=True)
+        for rec in self.records:
+            rec.unapply_w(y)
+        for rec in reversed(self.records):
+            rec.unapply_v(y)
+        return y
+
     def eliminated_count(self) -> int:
         """Total number of redundant indices (must equal ``n``)."""
         return int(sum(rec.redundant.size for rec in self.records))
@@ -88,6 +112,7 @@ def srs_factor(
         tree = QuadTree.for_leaf_size(kernel.points, opts.leaf_size)
     if tree.N != kernel.n:
         raise ValueError("tree and kernel must be over the same point set")
+    kernel.check_tree_resolution(tree)
 
     fact = SRSFactorization([], kernel.n, kernel.dtype, opts)
     active: dict[Coord, np.ndarray] = {

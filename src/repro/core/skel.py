@@ -99,6 +99,32 @@ class BoxRecord:
         if self.skeleton.size:
             x[self.skeleton] -= self.T @ x_r
 
+    # ------------------------------------------------------------------
+    # forward-apply operators: exact inverses of apply_v / apply_w, used
+    # by SRSFactorization.matvec to apply the *compressed A* itself.
+    # ------------------------------------------------------------------
+    def unapply_v(self, x: np.ndarray) -> None:
+        """Invert :meth:`apply_v` in place (apply ``V^{-1}``)."""
+        if self.redundant.size == 0:
+            return
+        v_r = self.lu.apply_lower(x[self.redundant])
+        if self.cluster.size:
+            x[self.cluster] += self.x_cr @ self.lu.solve_left(v_r)
+        if self.skeleton.size:
+            v_r = v_r + self.T.conj().T @ x[self.skeleton]
+        x[self.redundant] = v_r
+
+    def unapply_w(self, x: np.ndarray) -> None:
+        """Invert :meth:`apply_w` in place (apply ``W^{-1}``)."""
+        if self.redundant.size == 0:
+            return
+        x_r = x[self.redundant]
+        if self.skeleton.size:
+            x[self.skeleton] += self.T @ x_r
+        if self.cluster.size:
+            x_r = x_r + self.lu.solve_left(self.x_rc @ x[self.cluster])
+        x[self.redundant] = self.lu.apply_upper(x_r)
+
 
 def skeletonize_box(
     store: InteractionStore,

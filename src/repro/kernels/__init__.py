@@ -9,7 +9,7 @@ proxy-compression step (Sec. II-C of the paper).
 
 from repro.kernels.base import KernelMatrix, dense_matrix
 from repro.kernels.laplace import LaplaceKernelMatrix, laplace_greens
-from repro.kernels.helmholtz import HelmholtzKernelMatrix, helmholtz_greens
+from repro.kernels.helmholtz import HelmholtzKernelMatrix, helmholtz_greens, plane_wave
 from repro.kernels.yukawa import YukawaKernelMatrix
 from repro.kernels.gaussian import GaussianKernelMatrix
 from repro.kernels.selfquad import square_self_integral
@@ -22,6 +22,7 @@ __all__ = [
     "laplace_greens",
     "HelmholtzKernelMatrix",
     "helmholtz_greens",
+    "plane_wave",
     "YukawaKernelMatrix",
     "GaussianKernelMatrix",
     "square_self_integral",

@@ -60,6 +60,16 @@ class KernelMatrix(ABC):
         """True when ``g(x, y)`` depends only on ``x - y`` (enables FFT matvec)."""
         return True
 
+    def check_tree_resolution(self, tree) -> None:
+        """Validate a quadtree against this kernel's locality assumptions.
+
+        Tree consumers (``srs_factor``, ``TreecodeMatVec``) call this
+        before use. The default kernel entries are pure evaluations of
+        ``g``, so any tree works; kernels with locally corrected
+        quadrature (:mod:`repro.bie`) override this to require the
+        corrected band to stay inside the leaf-level near field.
+        """
+
     # ------------------------------------------------------------------
     # distributed support: ranks only know a subset of the points
     # ------------------------------------------------------------------

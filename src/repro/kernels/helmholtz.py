@@ -47,6 +47,14 @@ def hankel_cell_self_integral(kappa: float, h: float, *, order: int = 64) -> com
     return square_self_integral(primitive, h, order=order)
 
 
+def plane_wave(points: np.ndarray, kappa: float, direction=(1.0, 0.0)) -> np.ndarray:
+    """Incident plane wave ``exp(i kappa d . x)`` (paper: traveling right)."""
+    d = np.asarray(direction, dtype=float)
+    d = d / np.linalg.norm(d)
+    phase = kappa * (points @ d)
+    return np.exp(1j * phase)
+
+
 def gaussian_bump(points: np.ndarray, *, center=(0.5, 0.5), sharpness: float = 32.0) -> np.ndarray:
     """The paper's scattering potential ``b(x) = exp(-32 |x - c|^2)`` (Fig. 7a)."""
     pts = np.atleast_2d(points)

@@ -58,6 +58,22 @@ class PartialLU:
             return v.copy()
         return scipy.linalg.solve_triangular(self._lu, v, lower=False, check_finite=False)
 
+    # -- triangular forward applications (for the forward matvec) -------
+    def apply_lower(self, v: np.ndarray) -> np.ndarray:
+        """``P^T L v`` — inverse of :meth:`apply_lower_inverse`."""
+        if self.n == 0 or v.size == 0:
+            return v.copy()
+        lv = v + np.tril(self._lu, -1) @ v
+        out = np.empty(lv.shape, dtype=np.result_type(self._lu.dtype, v.dtype))
+        out[_perm_from_piv(self._piv)] = lv
+        return out
+
+    def apply_upper(self, v: np.ndarray) -> np.ndarray:
+        """``U v`` — inverse of :meth:`apply_upper_inverse`."""
+        if self.n == 0 or v.size == 0:
+            return v.copy()
+        return np.triu(self._lu) @ v
+
 
 def _perm_from_piv(piv: np.ndarray) -> np.ndarray:
     """Convert LAPACK sequential row swaps into a permutation vector."""

@@ -77,6 +77,7 @@ class TreecodeMatVec:
         self.tree = tree or QuadTree.for_leaf_size(kernel.points, leaf_size)
         if self.tree.N != kernel.n:
             raise ValueError("tree and kernel must share the point set")
+        kernel.check_tree_resolution(self.tree)
         self.n_equiv = int(n_equiv)
         self.equiv_factor = float(equiv_factor)
         self.check_factor = float(check_factor)
@@ -140,11 +141,20 @@ class TreecodeMatVec:
 
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply ``A`` to a vector ``(N,)`` or a block of them ``(N, nrhs)``,
+        matching :meth:`repro.core.factorization.SRSFactorization.solve`'s
+        multiple-RHS contract."""
         x = np.asarray(x)
-        if x.ndim != 1 or x.shape[0] != self.kernel.n:
-            raise ValueError(f"expected a length-{self.kernel.n} vector")
+        if x.ndim not in (1, 2) or x.shape[0] != self.kernel.n:
+            raise ValueError(
+                f"expected a length-{self.kernel.n} vector or an "
+                f"({self.kernel.n}, nrhs) block, got shape {x.shape}"
+            )
+        single = x.ndim == 1
+        x = x[:, None] if single else x
         tree, kernel = self.tree, self.kernel
         leaf = tree.nlevels
+        out_dtype = np.result_type(self.dtype, x.dtype)
 
         # upward pass: equivalent densities
         density: dict[tuple[int, Coord], np.ndarray] = {}
@@ -153,13 +163,13 @@ class TreecodeMatVec:
             density[(leaf, box)] = op @ x[idx]
         for level in range(leaf - 1, 1, -1):
             for box in self._nonempty[level]:
-                q = np.zeros(self.n_equiv, dtype=self.dtype)
+                q = np.zeros((self.n_equiv, x.shape[1]), dtype=out_dtype)
                 for child, op in self._m2m[(level, box)]:
                     q = q + op @ density[(level + 1, child)]
                 density[(level, box)] = q
 
         # evaluation
-        y = np.zeros(kernel.n, dtype=self.dtype)
+        y = np.zeros((kernel.n, x.shape[1]), dtype=out_dtype)
         nonempty_by_level = {lvl: set(boxes) for lvl, boxes in self._nonempty.items()}
         for box in self._nonempty[leaf]:
             tidx = tree.leaf_points(*box)
@@ -179,7 +189,7 @@ class TreecodeMatVec:
                     eq = self._equiv_pts[(level, far)]
                     y[tidx] += kernel.proxy_col_block(tidx, eq) @ density[(level, far)]
                 anc = (anc[0] >> 1, anc[1] >> 1)
-        return y
+        return y[:, 0] if single else y
 
     __call__ = matvec
 

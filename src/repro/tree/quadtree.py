@@ -41,7 +41,11 @@ class QuadTree:
         Leaf level ``L`` (so there are ``4**L`` leaves). Must be >= 2
         for the factorization to have a nonempty far field anywhere.
     domain:
-        The root square; defaults to the unit square.
+        The root square. When omitted, the unit square is used if it
+        contains all points (the paper's volume discretizations);
+        otherwise the smallest bounding square is taken, so curve
+        geometries (e.g. :mod:`repro.bie`) that do not fill the unit
+        square get a tree over their own extent.
     """
 
     def __init__(self, points: np.ndarray, nlevels: int, *, domain: Square | None = None):
@@ -50,7 +54,14 @@ class QuadTree:
             raise ValueError(f"points must be (N, 2), got {points.shape}")
         if nlevels < 0:
             raise ValueError(f"nlevels must be >= 0, got {nlevels}")
-        self.domain = domain or Square()
+        if domain is None:
+            unit = Square()
+            domain = (
+                unit
+                if points.size == 0 or bool(np.all(unit.contains(points, tol=1e-12)))
+                else Square.bounding(points)
+            )
+        self.domain = domain
         if not bool(np.all(self.domain.contains(points, tol=1e-12 * self.domain.size))):
             raise ValueError("points must lie inside the tree domain")
         self.points = points

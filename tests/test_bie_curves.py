@@ -1,0 +1,113 @@
+"""Geometry tests for the BIE curve classes."""
+
+import numpy as np
+import pytest
+
+from repro.bie import Circle, Ellipse, Kite, StarCurve, trapezoid_nodes
+
+CURVES = {
+    "circle": Circle(0.8, center=(0.2, -0.1)),
+    "ellipse": Ellipse(1.0, 0.4),
+    "star": StarCurve(1.0, 0.3, 5),
+    "kite": Kite(),
+}
+
+
+@pytest.fixture(params=list(CURVES), ids=list(CURVES))
+def curve(request):
+    return CURVES[request.param]
+
+
+def test_closed(curve):
+    t = np.array([0.0, 2.0 * np.pi])
+    p = curve.point(t)
+    assert np.allclose(p[0], p[1], atol=1e-14)
+
+
+def test_velocity_matches_finite_difference(curve):
+    t = np.linspace(0.3, 5.9, 17)
+    eps = 1e-6
+    fd = (curve.point(t + eps) - curve.point(t - eps)) / (2 * eps)
+    assert np.allclose(curve.velocity(t), fd, atol=1e-7)
+
+
+def test_acceleration_matches_finite_difference(curve):
+    t = np.linspace(0.3, 5.9, 17)
+    eps = 1e-5
+    fd = (curve.point(t + eps) - 2 * curve.point(t) + curve.point(t - eps)) / eps**2
+    assert np.allclose(curve.acceleration(t), fd, atol=1e-4)
+
+
+def test_normals_are_unit_and_orthogonal(curve):
+    t = np.linspace(0.0, 2 * np.pi, 50, endpoint=False)
+    n = curve.normal(t)
+    v = curve.velocity(t)
+    assert np.allclose(np.hypot(n[:, 0], n[:, 1]), 1.0, atol=1e-13)
+    assert np.allclose(np.sum(n * v, axis=1), 0.0, atol=1e-12)
+
+
+def test_normals_point_outward(curve):
+    """Stepping along +n must leave the interior (increase the winding
+    distance from an interior point, measured via the polygon test)."""
+    t = np.linspace(0.0, 2 * np.pi, 33, endpoint=False)
+    p = curve.point(t)
+    n = curve.normal(t)
+    c = curve.interior_point()
+    # signed area of the discretized curve: positive for counterclockwise
+    poly = curve.point(np.linspace(0, 2 * np.pi, 400, endpoint=False))
+    area = 0.5 * np.sum(
+        poly[:, 0] * np.roll(poly[:, 1], -1) - np.roll(poly[:, 0], -1) * poly[:, 1]
+    )
+    assert area > 0, "curves must be parametrized counterclockwise"
+    # outward normal has positive component along (x - c) on star-shaped curves
+    assert np.all(np.sum(n * (p - c), axis=1) > 0)
+
+
+def test_circle_curvature_and_length():
+    c = Circle(0.5)
+    t = np.linspace(0, 2 * np.pi, 16, endpoint=False)
+    assert np.allclose(c.curvature(t), 2.0)
+    assert np.isclose(c.arc_length(), np.pi)
+
+
+def test_ellipse_curvature_at_axes():
+    e = Ellipse(2.0, 1.0)
+    t = np.array([0.0, np.pi / 2])
+    # kappa = a / b^2 at the end of the minor axis, b / a^2 at the major
+    assert np.allclose(e.curvature(t), [2.0 / 1.0, 1.0 / 4.0])
+
+
+def test_discretization_weights_sum_to_perimeter(curve):
+    bd = curve.discretize(256)
+    assert np.isclose(bd.weights.sum(), curve.arc_length(4096), rtol=1e-10)
+    assert bd.points.shape == (256, 2)
+    assert bd.normals.shape == (256, 2)
+    assert bd.max_spacing() > 0
+
+
+def test_interior_point_is_inside():
+    star = StarCurve(1.0, 0.3, 5)
+    c = star.interior_point()
+    # the centroid is within the minimum radius of the star
+    assert np.hypot(*c) < 0.7
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        Circle(-1.0)
+    with pytest.raises(ValueError):
+        Ellipse(1.0, 0.0)
+    with pytest.raises(ValueError):
+        StarCurve(amplitude=1.5)
+    with pytest.raises(ValueError):
+        StarCurve(arms=0)
+    with pytest.raises(ValueError):
+        Kite(scale=0.0)
+    with pytest.raises(ValueError):
+        Circle().discretize(4)
+
+
+def test_trapezoid_nodes():
+    t = trapezoid_nodes(8)
+    assert t.shape == (8,)
+    assert np.allclose(np.diff(t), np.pi / 4)

@@ -1,0 +1,82 @@
+"""Kapur--Rokhlin corrected trapezoid rule tests."""
+
+import numpy as np
+import pytest
+
+from repro.bie.quadrature import (
+    circular_index_distance,
+    kapur_rokhlin_gamma,
+    kr_quadrature_row,
+    kr_weight_factors,
+)
+
+
+def log_kernel_error(n: int, order: int) -> float:
+    """Error of the corrected rule on a known log-singular integral:
+    ``int_0^{2pi} ln(4 sin^2(s/2)) cos(3 s) ds = -2 pi / 3``
+    (from the Fourier series ``ln(4 sin^2(t/2)) = -2 sum cos(m t)/m``)."""
+    s = 2.0 * np.pi * np.arange(n) / n
+    with np.errstate(divide="ignore"):
+        f = np.log(4.0 * np.sin(s / 2.0) ** 2) * np.cos(3.0 * s)
+    f[0] = 0.0
+    w = kr_quadrature_row(n, 0, order)
+    return abs(float(np.sum(w * f)) + 2.0 * np.pi / 3.0)
+
+
+@pytest.mark.parametrize("order,expected_rate", [(2, 1.5), (6, 5.0), (10, 8.0)])
+def test_kr_convergence_order(order, expected_rate):
+    e1 = log_kernel_error(40, order)
+    e2 = log_kernel_error(80, order)
+    assert np.log2(e1 / e2) > expected_rate
+
+
+def test_kr_order6_absolute_accuracy():
+    assert log_kernel_error(160, 6) < 1e-6
+    assert log_kernel_error(160, 10) < 1e-9
+
+
+def test_punctured_trapezoid_alone_is_first_order():
+    """Without corrections the punctured rule stalls at O(h log h)."""
+    def plain_error(n):
+        s = 2.0 * np.pi * np.arange(n) / n
+        with np.errstate(divide="ignore"):
+            f = np.log(4.0 * np.sin(s / 2.0) ** 2) * np.cos(3.0 * s)
+        f[0] = 0.0
+        return abs(np.sum(f) * 2.0 * np.pi / n + 2.0 * np.pi / 3.0)
+
+    assert log_kernel_error(160, 6) < 1e-3 * plain_error(160)
+
+
+def test_gamma_tables():
+    for order in (2, 6, 10):
+        g = kapur_rokhlin_gamma(order)
+        assert g.shape == (order,)
+    with pytest.raises(ValueError):
+        kapur_rokhlin_gamma(4)
+
+
+def test_circular_distance_wraps():
+    n = 16
+    d = circular_index_distance(np.array([0, 1, 15]), np.array([0, 15]), n)
+    assert d.tolist() == [[0, 1], [1, 2], [1, 0]]
+
+
+def test_weight_factor_matrix_structure():
+    n = 64
+    idx = np.arange(n)
+    f = kr_weight_factors(idx, idx, n, 6)
+    gamma = kapur_rokhlin_gamma(6)
+    assert np.all(np.diag(f) == 0.0)
+    # first off-diagonals carry 1 + gamma_1, including the periodic wrap
+    assert np.isclose(f[0, 1], 1.0 + gamma[0])
+    assert np.isclose(f[0, n - 1], 1.0 + gamma[0])
+    assert np.isclose(f[0, 6], 1.0 + gamma[5])
+    # beyond the band the factor is exactly 1
+    assert np.all(f[0, 7 : n - 6] == 1.0)
+    # symmetric in the index distance
+    assert np.allclose(f, f.T)
+
+
+def test_weight_factors_need_enough_nodes():
+    with pytest.raises(ValueError):
+        kr_weight_factors(np.arange(10), np.arange(10), 10, 6)

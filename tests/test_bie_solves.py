@@ -1,0 +1,154 @@
+"""End-to-end BIE solves: convergence, RS-S accuracy, GMRES counts."""
+
+import numpy as np
+import pytest
+
+from repro.bie import (
+    Circle,
+    InteriorDirichletProblem,
+    Kite,
+    SoundSoftScattering,
+    StarCurve,
+    harmonic_exponential,
+    harmonic_polynomial,
+)
+from repro.bie.solves import point_source_field
+from repro.core import SRSOptions
+
+
+# ----------------------------------------------------------------------
+# interior Laplace Dirichlet
+# ----------------------------------------------------------------------
+def circle_error(n: int) -> float:
+    prob = InteriorDirichletProblem(Circle(0.8, center=(0.1, -0.2)), n)
+    tau = prob.solve_dense(prob.boundary_data(harmonic_exponential))
+    tgt = prob.interior_targets()
+    u = prob.evaluate(tau, tgt)
+    return float(np.max(np.abs(u - harmonic_exponential(tgt))))
+
+
+def test_trapezoid_spectral_convergence_on_circle():
+    """Smooth-kernel Nystrom converges faster than any power of h."""
+    e24, e48 = circle_error(24), circle_error(48)
+    assert e48 < 1e-12
+    assert e24 / max(e48, 1e-16) > 1e3
+
+
+def test_star_harmonic_polynomial_dense():
+    prob = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), 512)
+    tau = prob.solve_dense(prob.boundary_data(lambda p: harmonic_polynomial(p, 4)))
+    tgt = prob.interior_targets()
+    u = prob.evaluate(tau, tgt)
+    ref = harmonic_polynomial(tgt, 4)
+    assert np.max(np.abs(u - ref)) / np.max(np.abs(ref)) < 1e-10
+
+
+def test_star_dirichlet_rss_direct_accuracy():
+    """Acceptance criterion: relative error <= 1e-8 on the star at
+    N ~ 2048 with the RS-S direct solve."""
+    prob = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), 2048)
+    fact = prob.factor(SRSOptions(tol=1e-10))
+    assert fact.eliminated_count() == 2048
+    err = prob.solve_error(harmonic_exponential, fact)
+    assert err <= 1e-8
+
+
+def test_dirichlet_solve_is_second_kind():
+    """The Nystrom matrix of -1/2 I + D stays well conditioned as n grows."""
+    conds = []
+    for n in (128, 256):
+        prob = InteriorDirichletProblem(Circle(), n)
+        conds.append(np.linalg.cond(prob.dense()))
+    assert conds[1] < 1.5 * conds[0]
+    assert conds[1] < 50
+
+
+def test_relres_consistency():
+    prob = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), 256)
+    f = prob.boundary_data(harmonic_exponential)
+    tau = prob.solve_dense(f)
+    assert prob.relres(tau, f) < 1e-12
+
+
+# ----------------------------------------------------------------------
+# exterior sound-soft Helmholtz (CFIE)
+# ----------------------------------------------------------------------
+def cfie_point_source_error(n: int, curve=None, kappa: float = 8.0) -> float:
+    prob = SoundSoftScattering(curve or StarCurve(1.0, 0.3, 5), n, kappa)
+    sigma = prob.solve_dense(prob.rhs_point_source())
+    tgt = prob.exterior_targets()
+    ref = point_source_field(tgt, prob.curve.interior_point(), kappa)
+    u = prob.scattered_field(sigma, tgt)
+    return float(np.max(np.abs(u - ref)) / np.max(np.abs(ref)))
+
+
+def test_cfie_kapur_rokhlin_convergence():
+    """Errors fall at roughly the 6th-order Kapur--Rokhlin rate."""
+    e256 = cfie_point_source_error(256)
+    e512 = cfie_point_source_error(512)
+    assert e512 < 1e-4
+    assert e256 / e512 > 2**4.5
+
+
+def test_cfie_kite_obstacle():
+    assert cfie_point_source_error(512, curve=Kite(), kappa=6.0) < 1e-4
+
+
+@pytest.fixture(scope="module")
+def star_cfie():
+    prob = SoundSoftScattering(StarCurve(1.0, 0.3, 5), 1024, kappa=8.0)
+    fact = prob.factor(SRSOptions(tol=1e-8))
+    return prob, fact
+
+
+def test_cfie_rss_direct_matches_dense(star_cfie):
+    prob, fact = star_cfie
+    assert prob.point_source_error(fact) < 1e-6
+
+
+def test_cfie_preconditioned_gmres_iteration_counts(star_cfie):
+    """Acceptance criterion: RS-S-preconditioned CFIE GMRES converges in
+    <= 10 iterations where the unpreconditioned baseline needs >= 3x."""
+    prob, fact = star_cfie
+    b = prob.rhs_plane_wave()
+    pre = prob.pgmres(fact, b)
+    assert pre.converged
+    assert pre.iterations <= 10
+    plain = prob.unpreconditioned_gmres(b)
+    assert plain.converged
+    assert plain.iterations >= 3 * pre.iterations
+    # both reach the same solution
+    sigma_p = prob.matvec(pre.x) - b
+    assert np.linalg.norm(sigma_p) / np.linalg.norm(b) < 1e-9
+
+
+def test_cfie_gmres_with_treecode_matvec(star_cfie):
+    """The O(N log N) treecode drives the same preconditioned iteration."""
+    prob, fact = star_cfie
+    b = prob.rhs_plane_wave()
+    res = prob.pgmres(fact, b, matvec=prob.treecode(), tol=1e-8)
+    assert res.converged
+    assert res.iterations <= 10
+    assert prob.relres(res.x, b) < 1e-7
+
+
+def test_scattered_field_radiates():
+    """The scattered field decays like 1/sqrt(r) away from the obstacle."""
+    prob = SoundSoftScattering(StarCurve(1.0, 0.3, 5), 1024, kappa=6.0)
+    sigma = prob.solve_dense(prob.rhs_plane_wave())
+    theta = np.linspace(0, 2 * np.pi, 16, endpoint=False)
+    ring = lambda r: r * np.column_stack([np.cos(theta), np.sin(theta)])
+    a5 = np.max(np.abs(prob.scattered_field(sigma, ring(5.0))))
+    a40 = np.max(np.abs(prob.scattered_field(sigma, ring(40.0))))
+    assert a40 < 0.6 * a5  # ~ sqrt(5/40) ~ 0.35, with directivity slack
+    assert np.all(np.isfinite(prob.total_field(sigma, ring(3.0))))
+
+
+def test_bounding_box_tree_domain():
+    """Curves outside the unit square get a bounding-box tree domain."""
+    prob = SoundSoftScattering(Kite(scale=1.0, center=(-2.0, 3.0)), 512, kappa=5.0)
+    dom = prob.tree.domain
+    assert dom.contains(prob.bd.points).all()
+    assert dom.size < 4.0  # tight box, not the unit square
+    fact = prob.factor(SRSOptions(tol=1e-8))
+    assert prob.point_source_error(fact) < 1e-4

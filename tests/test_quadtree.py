@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.geometry import uniform_grid, random_points
+from repro.geometry import Square, uniform_grid, random_points
 from repro.tree import QuadTree
 
 
@@ -114,9 +114,21 @@ def test_for_leaf_size_minimum_levels():
     assert t.nlevels >= 2
 
 
-def test_points_outside_domain_rejected():
+def test_points_outside_explicit_domain_rejected():
     with pytest.raises(ValueError):
-        QuadTree(np.array([[1.5, 0.5]]), 2)
+        QuadTree(np.array([[1.5, 0.5]]), 2, domain=Square())
+
+
+def test_default_domain_falls_back_to_bounding_box():
+    """Points outside the unit square get a bounding-box domain (BIE
+    curves and other off-grid geometries); points inside keep the unit
+    square so existing volume discretizations are unchanged."""
+    pts = np.array([[1.5, 0.5], [-0.25, 2.0], [0.0, 0.0]])
+    tree = QuadTree(pts, 2)
+    assert tree.domain.contains(pts).all()
+    assert tree.domain.size < 3.0
+    inside = QuadTree(np.array([[0.25, 0.75], [0.5, 0.5]]), 2)
+    assert inside.domain == Square()
 
 
 def test_morton_point_order_sorts_by_leaf(tree):
