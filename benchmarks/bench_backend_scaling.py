@@ -1,0 +1,222 @@
+"""Threaded vs process execution backends: wall-clock scaling + parity.
+
+The thread backend simulates distributed time faithfully but its rank
+*compute* is GIL-serialized; the process backend runs ranks as OS
+processes with shared-memory ndarray transport, so factorization
+wall-clock scales with cores. This bench runs the Table II Laplace
+volume workload and the PR-1 BIE star workload at ``p = 4`` under both
+backends, checks they are observationally identical (bitwise solutions,
+equal message/byte counters), and writes machine-readable results to
+``BENCH_backend_scaling.json`` at the repository root so the perf
+trajectory accumulates across commits/CI artifacts.
+"""
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+import pytest
+
+from common import SCALE, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.bie import InteriorDirichletProblem, StarCurve, harmonic_exponential
+from repro.core import SRSOptions
+from repro.geometry.domain import Square
+from repro.parallel import parallel_srs_factor
+from repro.reporting import Table, format_sci, format_seconds
+from repro.vmpi import process_backend_available
+
+P = 4
+#: N = LAPLACE_M^2 — at least 4096 unknowns at every scale
+LAPLACE_M = {0: 64, 1: 128, 2: 256}[SCALE]
+BIE_N = {0: 2048, 1: 4096, 2: 8192}[SCALE]
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_backend_scaling.json")
+
+
+def _backends() -> list[str]:
+    return ["thread", "process"] if process_backend_available() else ["thread"]
+
+
+def _time_backend(kernel, b, opts, domain, backend, relres):
+    t0 = time.perf_counter()
+    fact = parallel_srs_factor(kernel, P, opts=opts, domain=domain, backend=backend)
+    wall_fact = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    x = fact.solve(b)
+    wall_solve = time.perf_counter() - t0
+    stats = dict(
+        wall_fact=wall_fact,
+        wall_solve=wall_solve,
+        wall_total=wall_fact + wall_solve,
+        sim_fact=fact.t_fact,
+        sim_solve=fact.t_solve,
+        relres=relres(x, b),
+        messages=fact.factor_run.total_messages,
+        bytes=fact.factor_run.total_bytes,
+    )
+    return stats, x
+
+
+def _run_workload(name, kernel, b, opts, relres, domain=None) -> dict:
+    entry = {"workload": name, "n": int(kernel.n), "p": P, "backends": {}}
+    solutions = {}
+    for backend in _backends():
+        stats, x = _time_backend(kernel, b, opts, domain, backend, relres)
+        entry["backends"][backend] = stats
+        solutions[backend] = x
+    if len(solutions) == 2:
+        t, p = entry["backends"]["thread"], entry["backends"]["process"]
+        entry["parity"] = {
+            "solution_bitwise_equal": bool(
+                np.array_equal(solutions["thread"], solutions["process"])
+            ),
+            "messages_equal": t["messages"] == p["messages"],
+            "bytes_equal": t["bytes"] == p["bytes"],
+            "relres_equal": t["relres"] == p["relres"],
+        }
+        entry["speedup_process_over_thread"] = t["wall_total"] / p["wall_total"]
+    return entry
+
+
+def run_sweep() -> dict:
+    laplace = LaplaceVolumeProblem(LAPLACE_M)
+    bie = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), BIE_N)
+    f = bie.boundary_data(harmonic_exponential)
+    workloads = [
+        _run_workload(
+            "laplace_volume",
+            laplace.kernel,
+            laplace.random_rhs(),
+            SRSOptions(tol=1e-6, leaf_size=64),
+            laplace.relres,
+        ),
+        _run_workload(
+            "bie_star",
+            bie.kernel,
+            f,
+            SRSOptions(tol=1e-10),
+            bie.relres,
+            domain=Square.bounding(bie.bd.points),
+        ),
+    ]
+    return {
+        "bench": "backend_scaling",
+        "scale": SCALE,
+        "p": P,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "backends": _backends(),
+        "workloads": workloads,
+    }
+
+
+def render(result: dict) -> str:
+    table = Table(
+        f"Execution-backend scaling at p = {P} "
+        f"({os.cpu_count()} cores; wall-clock seconds)",
+        ["workload", "N", "backend", "t_fact", "t_solve", "relres", "msgs", "MB sent"],
+    )
+    for wl in result["workloads"]:
+        for backend, s in wl["backends"].items():
+            table.add_row(
+                wl["workload"],
+                wl["n"],
+                backend,
+                format_seconds(s["wall_fact"]),
+                format_seconds(s["wall_solve"]),
+                format_sci(s["relres"]),
+                s["messages"],
+                f"{s['bytes'] / 1e6:.1f}",
+            )
+    lines = [table.render()]
+    for wl in result["workloads"]:
+        if "speedup_process_over_thread" in wl:
+            lines.append(
+                f"{wl['workload']}: process/thread wall-clock speedup "
+                f"{wl['speedup_process_over_thread']:.2f}x, parity "
+                f"{wl['parity']}"
+            )
+    return "\n".join(lines)
+
+
+def write_json(result: dict) -> None:
+    with open(JSON_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sweep():
+    result = run_sweep()
+    write_json(result)
+    save_table("backend_scaling", render(result))
+    return result
+
+
+def test_backend_scaling_generated(sweep, benchmark):
+    prob = LaplaceVolumeProblem(32)
+    benchmark.pedantic(
+        lambda: parallel_srs_factor(prob.kernel, P, opts=SRSOptions(tol=1e-6, leaf_size=32)),
+        rounds=1,
+        iterations=1,
+    )
+    assert os.path.exists(JSON_PATH)
+    with open(JSON_PATH) as fh:
+        on_disk = json.load(fh)
+    assert on_disk["bench"] == "backend_scaling"
+    assert {wl["workload"] for wl in on_disk["workloads"]} == {
+        "laplace_volume",
+        "bie_star",
+    }
+
+
+def test_backend_scaling_laplace_is_table_sized(sweep):
+    laplace = next(w for w in sweep["workloads"] if w["workload"] == "laplace_volume")
+    assert laplace["n"] >= 4096 and laplace["p"] == 4
+
+
+def test_backends_observationally_identical(sweep):
+    """Identical solution error and comm counts across backends."""
+    if len(sweep["backends"]) < 2:
+        pytest.skip("process backend unavailable")
+    for wl in sweep["workloads"]:
+        assert wl["parity"]["solution_bitwise_equal"], wl["workload"]
+        assert wl["parity"]["messages_equal"], wl["workload"]
+        assert wl["parity"]["bytes_equal"], wl["workload"]
+        assert wl["parity"]["relres_equal"], wl["workload"]
+
+
+@pytest.mark.xfail(
+    strict=False,
+    reason="wall-clock crossover depends on cores, BLAS threading, and "
+    "machine load; the recorded speedup in BENCH_backend_scaling.json is "
+    "the authoritative signal",
+)
+def test_process_backend_scales_with_cores(sweep):
+    """On a real multi-core machine the GIL-free backend should win on
+    the Laplace workload; on starved boxes (< 4 cores) only parity is
+    required and the recorded speedup is informational. Non-strict:
+    this documents the expectation without letting scheduler noise or
+    BLAS-thread oversubscription red the build."""
+    if len(sweep["backends"]) < 2:
+        pytest.skip("process backend unavailable")
+    laplace = next(w for w in sweep["workloads"] if w["workload"] == "laplace_volume")
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip(
+            f"only {os.cpu_count()} core(s): recorded speedup "
+            f"{laplace['speedup_process_over_thread']:.2f}x is informational"
+        )
+    assert laplace["speedup_process_over_thread"] > 1.0
+
+
+if __name__ == "__main__":
+    result = run_sweep()
+    write_json(result)
+    save_table("backend_scaling", render(result))
+    print(f"wrote {os.path.abspath(JSON_PATH)}")

@@ -56,8 +56,12 @@ def test_messages_grow_logarithmically(counts):
     msgs = [msg for _m, msg, _w in counts]
     increments = [b - a for a, b in zip(msgs, msgs[1:])]
     assert all(inc <= 40 for inc in increments), increments
-    # strictly sublinear: doubling m (4x N) must not double messages
-    assert msgs[-1] < 2 * msgs[0]
+    # logarithmic, not polynomial: the per-step increment must not grow
+    # (polynomial growth in N would multiply it by ~4 per step); an
+    # absolute bound on the smallest count would misfire at bench sizes
+    # where the affine offset dominates (e.g. 7 -> 19 -> 31 is exactly
+    # a + b log N yet fails `last < 2 * first`).
+    assert increments[-1] <= increments[0] + 8, increments
 
 
 def test_words_grow_like_sqrt_n(counts):
@@ -66,3 +70,21 @@ def test_words_grow_like_sqrt_n(counts):
     for a, b in zip(words, words[1:]):
         ratio = b / a
         assert 1.2 < ratio < 3.5, f"word growth ratio {ratio} not ~2 per 4x N"
+
+
+def test_counters_backend_independent():
+    """The counters these claims rest on must not depend on the
+    execution backend (thread deep-copy vs process shared-memory)."""
+    from repro.vmpi import process_backend_available
+
+    if not process_backend_available():
+        import pytest
+
+        pytest.skip("process backend unavailable")
+    prob = LaplaceVolumeProblem(M_SWEEP[0])
+    runs = {
+        be: parallel_srs_factor(prob.kernel, P, opts=OPTS, backend=be).factor_run
+        for be in ("thread", "process")
+    }
+    for rt, rp in zip(runs["thread"].reports, runs["process"].reports):
+        assert (rt.messages_sent, rt.bytes_sent) == (rp.messages_sent, rp.bytes_sent)

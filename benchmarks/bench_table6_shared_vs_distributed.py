@@ -9,8 +9,16 @@ measured per-box task times (Table VI "C++ reference" column role) and
 the distributed solver runs its full protocol. Shape to verify: both
 scale, with comparable times at the largest core count, and identical
 accuracy behaviour (relres ~ eps, nit small).
+
+A second artifact compares the *execution backends* of the distributed
+run itself (thread vs process ranks) on one Table VI configuration:
+wall-clock differs, everything observable — accuracy, message and byte
+counts — must not.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from common import SCALE, save_table
@@ -18,6 +26,7 @@ from repro.apps import ScatteringProblem
 from repro.core import SRSOptions
 from repro.parallel import parallel_srs_factor, shared_memory_factor
 from repro.reporting import ScalingSeries, Table, ascii_loglog, format_sci, format_seconds
+from repro.vmpi import process_backend_available
 
 M = {0: 64, 1: 96, 2: 128}[SCALE]
 KAPPA = {0: 10.0, 1: 25.0, 2: 25.0}[SCALE]
@@ -92,3 +101,42 @@ def test_table6_accuracy_tracks_eps(sweep):
 
 def test_table6_nit_small(sweep):
     assert all(n <= 12 for *_rest, n in sweep)
+
+
+@pytest.fixture(scope="module")
+def backend_rows():
+    if not process_backend_available():
+        pytest.skip("process backend unavailable")
+    prob = ScatteringProblem(M, KAPPA)
+    b = prob.rhs()
+    opts = SRSOptions(tol=1e-6, leaf_size=64)
+    p = P_SWEEP[-1]
+    rows = []
+    for backend in ("thread", "process"):
+        t0 = time.perf_counter()
+        fact = parallel_srs_factor(prob.kernel, p, opts=opts, backend=backend)
+        wall_fact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        x = fact.solve(b)
+        wall_solve = time.perf_counter() - t0
+        rows.append(
+            (backend, wall_fact, wall_solve, prob.relres(x, b), x,
+             fact.factor_run.total_messages, fact.factor_run.total_bytes)
+        )
+    table = Table(
+        f"Table VI addendum: distributed run under both execution backends "
+        f"(eps=1e-6, p={p}, N={M}^2; wall-clock seconds)",
+        ["backend", "t_fact", "t_solve", "relres", "msgs", "bytes"],
+    )
+    for backend, wf, ws, rr, _x, msgs, nbytes in rows:
+        table.add_row(backend, format_seconds(wf), format_seconds(ws), format_sci(rr), msgs, nbytes)
+    save_table("table6_backend_comparison", table.render())
+    return rows
+
+
+def test_table6_backends_agree(backend_rows):
+    """Wall-clock aside, the execution backend must be unobservable."""
+    (_, _, _, r_t, x_t, m_t, b_t), (_, _, _, r_p, x_p, m_p, b_p) = backend_rows
+    assert np.array_equal(x_t, x_p)
+    assert r_t == r_p
+    assert (m_t, b_t) == (m_p, b_p)

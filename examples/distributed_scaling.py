@@ -6,7 +6,12 @@ compute and communication/idle, the solve time, and the per-rank
 message/word counters that Sec. IV-B bounds as O(log N + log p) and
 O(sqrt(N/p) + log p).
 
-Run:  python examples/distributed_scaling.py [grid_side]
+Run:  python examples/distributed_scaling.py [grid_side] [backend]
+
+``backend`` is ``thread`` (default: deterministic, GIL-serialized
+compute) or ``process`` (one OS process per rank, shared-memory ndarray
+transport — wall-clock scales with cores; simulated times and counters
+are identical either way).
 """
 
 import sys
@@ -16,21 +21,22 @@ from repro.parallel.ownership import max_ranks_for_tree
 from repro.tree import QuadTree
 
 
-def main(m: int = 96) -> None:
+def main(m: int = 96, backend: str | None = None) -> None:
     prob = LaplaceVolumeProblem(m)
     opts = SRSOptions(tol=1e-6, leaf_size=64)
     nlevels = QuadTree.for_leaf_size(prob.points, 64).nlevels
     pmax = max_ranks_for_tree(nlevels)
     b = prob.random_rhs()
 
-    print(f"N = {prob.n}, tree levels = {nlevels}, max ranks = {pmax}")
+    print(f"N = {prob.n}, tree levels = {nlevels}, max ranks = {pmax}, "
+          f"backend = {backend or 'default'}")
     print(f"{'p':>4} {'t_fact':>9} {'t_comp':>9} {'t_other':>9} {'t_solve':>9} "
           f"{'msgs/rank':>10} {'MB/rank':>8} {'relres':>10}")
     base = None
     for p in (1, 4, 16, 64):
         if p > pmax:
             break
-        fact = parallel_srs_factor(prob.kernel, p, opts=opts)
+        fact = parallel_srs_factor(prob.kernel, p, opts=opts, backend=backend)
         x = fact.solve(b)
         relres = prob.relres(x, b)
         msgs = fact.factor_run.max_messages_per_rank()
@@ -47,4 +53,7 @@ def main(m: int = 96) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 96)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 96,
+        sys.argv[2] if len(sys.argv) > 2 else None,
+    )

@@ -107,9 +107,14 @@ class BoundaryDiscretization:
     def n(self) -> int:
         return self.t.size
 
-    def max_spacing(self) -> float:
-        """Largest arc-length distance between consecutive nodes."""
-        return float(self.speed.max()) * 2.0 * np.pi / self.n
+    def max_spacing(self, n_global: int | None = None) -> float:
+        """Largest arc-length distance between consecutive nodes.
+
+        ``n_global`` overrides the node count — a rank-local subset of a
+        distributed run holds fewer nodes than the uniform parameter
+        grid it was cut from, and spacing is set by the full grid.
+        """
+        return float(self.speed.max()) * 2.0 * np.pi / (n_global or self.n)
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,8 @@ verifies this (it holds for any reasonable discretization).
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 from scipy.special import hankel1
 
@@ -106,6 +108,16 @@ class BoundaryKernelMatrix(KernelMatrix):
         self.points = bd.points
         self.identity = identity
         self.kr_order = kr_order
+        # distributed support: a spawned (rank-local) instance covers a
+        # subset of the curve nodes; ``gids`` maps local rows to global
+        # parameter indices so the Kapur--Rokhlin band (defined by
+        # periodic distance of *global* indices) stays correct, and
+        # ``n_global`` is the full discretization size.
+        self.gids = np.arange(bd.n, dtype=np.int64)
+        self.n_global = bd.n
+        # full-curve node spacing, captured before any spawn: a subset's
+        # bd can underestimate it (its speed.max() misses excluded arcs)
+        self.max_node_spacing = bd.max_spacing()
         if kr_order is not None:
             # validates the order and the node count up front
             kr_weight_factors(np.arange(1), np.arange(1), bd.n, kr_order)
@@ -147,7 +159,9 @@ class BoundaryKernelMatrix(KernelMatrix):
             # the singular (coincident) entries are inf/nan here; the factor
             # matrix zeroes them and the diagonal assignment below fixes them
             with np.errstate(invalid="ignore"):
-                blk *= kr_weight_factors(rows, cols, self.n, self.kr_order)
+                blk *= kr_weight_factors(
+                    self.gids[rows], self.gids[cols], self.n_global, self.kr_order
+                )
         same = rows[:, None] == cols[None, :]
         if same.any():
             d = self.diagonal()
@@ -177,9 +191,49 @@ class BoundaryKernelMatrix(KernelMatrix):
         Spectrally accurate for targets away from the curve; do not use
         for near-boundary evaluation.
         """
+        if self.n != self.n_global:
+            raise RuntimeError(
+                "potential() needs the full-curve kernel; this instance is a "
+                f"rank-local spawn covering {self.n} of {self.n_global} nodes"
+            )
         targets = np.atleast_2d(np.asarray(targets, dtype=float))
         g = self.layer_greens(targets, np.arange(self.n, dtype=np.int64))
         return g @ (self.bd.weights * np.asarray(density))
+
+    # -- distributed support ---------------------------------------------
+    def per_point_data(self, index: np.ndarray) -> dict[str, np.ndarray]:
+        """Boundary data a remote rank needs to evaluate entries for ``index``."""
+        idx = np.asarray(index, dtype=np.int64)
+        return {
+            "bd_t": self.bd.t[idx],
+            "bd_normals": self.bd.normals[idx],
+            "bd_speed": self.bd.speed[idx],
+            "bd_weights": self.bd.weights[idx],
+            "bd_curvature": self.bd.curvature[idx],
+            "bd_gid": self.gids[idx],
+        }
+
+    def spawn(self, points: np.ndarray, data: dict[str, np.ndarray]) -> "BoundaryKernelMatrix":
+        """Rank-local instance over a subset of the curve nodes.
+
+        Scalar parameters (identity, KR order, ``kappa``/``eta``, the
+        analytic curve) are shared; the per-node arrays come from
+        :meth:`per_point_data` shipped by the owning rank.
+        """
+        bd = BoundaryDiscretization(
+            curve=self.bd.curve,
+            t=np.asarray(data["bd_t"], dtype=float),
+            points=np.atleast_2d(np.asarray(points, dtype=float)),
+            normals=np.asarray(data["bd_normals"], dtype=float),
+            speed=np.asarray(data["bd_speed"], dtype=float),
+            weights=np.asarray(data["bd_weights"], dtype=float),
+            curvature=np.asarray(data["bd_curvature"], dtype=float),
+        )
+        dup = copy.copy(self)  # n_global and scalar params carry over
+        dup.bd = bd
+        dup.points = bd.points
+        dup.gids = np.asarray(data["bd_gid"], dtype=np.int64)
+        return dup
 
     # -- safety ----------------------------------------------------------
     def check_tree_resolution(self, tree: QuadTree) -> None:
@@ -193,7 +247,9 @@ class BoundaryKernelMatrix(KernelMatrix):
         """
         if self.kr_order is None:
             return
-        band = self.kr_order * self.bd.max_spacing()
+        # the full-curve spacing captured at construction — a rank-local
+        # spawn's subset bd would misestimate it
+        band = self.kr_order * self.max_node_spacing
         side = tree.box_side(tree.nlevels)
         if band >= side:
             raise ValueError(

@@ -45,10 +45,14 @@ def cg(
     """
     b = np.asarray(b)
     bnorm = float(np.linalg.norm(b))
+    # promote like GMRES does: an integer rhs must not keep iterates (or
+    # the first recurrence residual) in integer arithmetic
+    dtype = np.result_type(b.dtype, np.float64)
+    eps = np.finfo(dtype).eps
     if bnorm == 0.0:
-        return CGResult(np.zeros_like(b), 0, True, [0.0])
-    x = np.zeros_like(b) if x0 is None else np.asarray(x0).copy()
-    r = b - matvec(x) if x0 is not None else b.copy()
+        return CGResult(np.zeros(b.shape, dtype=dtype), 0, True, [0.0])
+    x = np.zeros(b.shape, dtype=dtype) if x0 is None else np.asarray(x0).astype(dtype)
+    r = b - matvec(x) if x0 is not None else b.astype(dtype, copy=True)
     history = [float(np.linalg.norm(r)) / bnorm]
     if history[0] <= tol:
         return CGResult(x, 0, True, history)
@@ -58,7 +62,10 @@ def cg(
     for k in range(1, maxiter + 1):
         ap = matvec(p)
         denom = np.vdot(p, ap)
-        if denom == 0:
+        # breakdown guard: ``p* A p`` indistinguishable from zero at the
+        # working precision (exact == 0 misses the semi-definite case
+        # where cancellation leaves a subnormal-sized denominator)
+        if abs(denom) <= eps * float(np.linalg.norm(p)) * float(np.linalg.norm(ap)):
             return CGResult(x, k - 1, False, history)
         alpha = rz / denom
         x = x + alpha * p

@@ -46,11 +46,11 @@ def gmres(
     """
     b = np.asarray(b)
     bnorm = float(np.linalg.norm(b))
+    dtype = np.result_type(b.dtype, np.float64)
     if bnorm == 0.0:
-        return GMRESResult(np.zeros_like(b), 0, True, [0.0])
+        return GMRESResult(np.zeros(b.shape, dtype=dtype), 0, True, [0.0])
     if restart <= 0:
         raise ValueError(f"restart must be positive, got {restart}")
-    dtype = np.result_type(b.dtype, np.float64)
     x = np.zeros_like(b, dtype=dtype) if x0 is None else np.asarray(x0).astype(dtype)
 
     total_iters = 0
@@ -80,8 +80,15 @@ def gmres(
             for i in range(j + 1):
                 hess[i, j] = np.vdot(basis[:, i], w)
                 w = w - hess[i, j] * basis[:, i]
+            # happy breakdown: K_{j+1} is A-invariant, so the least-squares
+            # solution over it is exact — stop enlarging the basis (the
+            # rotations below still run to finish the triangularization;
+            # they see hess[j+1, j] = 0 and leave the residual at 0).
+            # Without this, basis[:, j+1] would be left uninitialized
+            # (np.empty garbage) while the Arnoldi loop kept running.
             hess[j + 1, j] = np.linalg.norm(w)
-            if hess[j + 1, j] > 0:
+            happy = not (hess[j + 1, j] > 0)
+            if not happy:
                 basis[:, j + 1] = w / hess[j + 1, j]
             # apply previous rotations (c real, G = [[c, s], [-conj(s), c]])
             for i in range(j):
@@ -108,16 +115,30 @@ def gmres(
             total_iters += 1
             rel = abs(g[j + 1]) / bnorm
             history.append(float(rel))
-            if rel <= tol:
+            if rel <= tol or happy:
                 break
         # solve the triangular system and update x
         k = inner_used
         if k > 0:
-            y = np.linalg.solve(hess[:k, :k], g[:k])
+            try:
+                y = np.linalg.solve(hess[:k, :k], g[:k])
+            except np.linalg.LinAlgError:
+                # singular-operator breakdown (e.g. rank-deficient A with
+                # rhs touching the nullspace): take the minimum-norm
+                # least-squares solution over the Krylov space
+                y = np.linalg.lstsq(hess[:k, :k], g[:k], rcond=None)[0]
             update = basis[:, :k] @ y
             if preconditioner is not None:
                 update = preconditioner(update)
             x = x + update
+        if happy:
+            # the Krylov space is A-invariant and exhausted — restarting
+            # would rebuild the same space, so report the true residual
+            # and stop instead of spinning until maxiter
+            r = b - matvec(x)
+            rel = float(np.linalg.norm(r)) / bnorm
+            history.append(rel)
+            return GMRESResult(x, total_iters, rel <= tol, history)
         if total_iters >= maxiter:
             r = b - matvec(x)
             rel = float(np.linalg.norm(r)) / bnorm

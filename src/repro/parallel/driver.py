@@ -36,6 +36,8 @@ class ParallelFactorization:
     workers: list[WorkerResult]
     factor_run: SPMDRun
     cost_model: CostModel | None = None
+    #: execution backend ("thread"/"process"/instance); None = configured default
+    backend: object = None
     last_solve_run: SPMDRun | None = None
     _merged_stats: RankStats | None = field(default=None, repr=False)
 
@@ -65,7 +67,13 @@ class ParallelFactorization:
         if b.shape[0] != self.n:
             raise ValueError(f"rhs has {b.shape[0]} rows, expected {self.n}")
         run = run_spmd(
-            self.p, solve_worker, self.workers, self.n, b, cost_model=self.cost_model
+            self.p,
+            solve_worker,
+            self.workers,
+            self.n,
+            b,
+            cost_model=self.cost_model,
+            backend=self.backend,
         )
         self.last_solve_run = run
         return run.results[0]
@@ -101,12 +109,16 @@ def parallel_srs_factor(
     nlevels: int | None = None,
     domain: Square | None = None,
     cost_model: CostModel | None = None,
+    backend: object = None,
 ) -> ParallelFactorization:
     """Distributed-memory RS-S factorization on ``p`` simulated ranks.
 
     ``p`` must be a power-of-two squared (1, 4, 16, 64, ...) and satisfy
     ``p <= 4**(nlevels - 1)`` so every rank owns at least a 2x2 block of
-    leaf boxes.
+    leaf boxes. ``backend`` selects how ranks execute ("thread",
+    "process", or an :class:`~repro.vmpi.backend.ExecutionBackend`);
+    ``None`` uses the ``REPRO_VMPI_BACKEND`` default. Results, message
+    counts, and byte counts are backend-independent.
     """
     opts = opts or SRSOptions()
     domain = domain or Square()
@@ -129,8 +141,20 @@ def parallel_srs_factor(
     if math.isqrt(p) ** 2 != p or (math.isqrt(p) & (math.isqrt(p) - 1)) != 0:
         raise ValueError(f"p must be a power-of-two squared (1, 4, 16, ...), got {p}")
 
+    # kernels with locally corrected quadrature (repro.bie) constrain the
+    # leaf size; validate against the tree geometry the workers will use,
+    # exactly as the sequential srs_factor does
+    kernel.check_tree_resolution(QuadTree(np.zeros((0, 2)), nlevels, domain=domain))
+
     run = run_spmd(
-        p, factor_worker, kernel, nlevels, domain, opts, cost_model=cost_model
+        p,
+        factor_worker,
+        kernel,
+        nlevels,
+        domain,
+        opts,
+        cost_model=cost_model,
+        backend=backend,
     )
     workers: list[WorkerResult] = run.results
     fact = ParallelFactorization(
@@ -141,6 +165,7 @@ def parallel_srs_factor(
         workers=workers,
         factor_run=run,
         cost_model=cost_model,
+        backend=backend,
     )
     eliminated = fact.eliminated_count()
     if eliminated != kernel.n:  # pragma: no cover - invariant

@@ -38,3 +38,40 @@ def bench_scale() -> int:
     if scale < 0 or scale > 2:
         raise ValueError(f"REPRO_BENCH_SCALE must be 0, 1 or 2; got {scale}")
     return scale
+
+
+#: execution backends understood by ``repro.vmpi`` (see vmpi.backend)
+VMPI_BACKENDS = ("thread", "process")
+
+
+def vmpi_backend() -> str:
+    """Default execution backend for SPMD runs (``REPRO_VMPI_BACKEND``).
+
+    * ``thread`` (default) — in-process rank threads: deterministic,
+      cheap to launch, GIL-serialized compute. Right for tests and
+      simulated-time studies.
+    * ``process`` — one OS process per rank with shared-memory ndarray
+      transport: wall-clock scales with cores. Right for real-time
+      benchmarks and large workloads.
+    """
+    raw = os.environ.get("REPRO_VMPI_BACKEND")
+    if raw is None or raw.strip() == "":
+        return "thread"
+    name = raw.strip().lower()
+    if name not in VMPI_BACKENDS:
+        raise ValueError(
+            f"REPRO_VMPI_BACKEND={raw!r} is not one of {'/'.join(VMPI_BACKENDS)}"
+        )
+    return name
+
+
+def vmpi_shm_min_bytes() -> int:
+    """Arrays at or above this size travel via shared memory (process backend).
+
+    Below it, the pickle channel is cheaper than creating a block
+    (``REPRO_VMPI_SHM_MIN_BYTES``, default 2048).
+    """
+    n = env_int("REPRO_VMPI_SHM_MIN_BYTES", 2048)
+    if n < 0:
+        raise ValueError(f"REPRO_VMPI_SHM_MIN_BYTES must be >= 0, got {n}")
+    return n

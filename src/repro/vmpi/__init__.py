@@ -1,28 +1,42 @@
 """Virtual MPI: a simulated distributed-memory runtime.
 
 The paper's solver runs on Julia ``Distributed.jl`` workers spread over
-a supercomputer. This environment has one CPU core and no MPI, so the
-*runtime* is simulated while the *algorithm* is executed faithfully:
+a supercomputer. Here the *algorithm* is executed faithfully over an
+mpi4py-shaped API (``send``/``recv``, ``bcast``, ``gather``,
+``allreduce``, ``barrier``, …) while the *runtime* is pluggable
+(:mod:`repro.vmpi.backend`):
 
-* every rank is an OS thread with strictly private state;
-* all interaction happens through explicit messages (payloads are
-  deep-copied on send, so there is no shared mutable data — a rank can
-  only learn what another rank sent it);
+* every rank has strictly private state — with the default **thread
+  backend** each rank is an OS thread and payloads are deep-copied on
+  send; with the **process backend** each rank is an OS process and
+  ndarray payloads travel through ``multiprocessing.shared_memory``
+  blocks (zero-copy on receive), so compute is GIL-free and wall-clock
+  scales with cores;
 * a LogP-style simulated clock tracks per-rank time: compute segments
-  advance it by the thread's measured CPU time, and a received message
+  advance it by the rank's measured CPU time, and a received message
   cannot be consumed before ``sender_time + alpha + beta * bytes``;
 * per-rank counters record messages and words sent, so the paper's
-  communication-complexity claims (Sec. IV-B) are checked directly.
+  communication-complexity claims (Sec. IV-B) are checked directly —
+  and are identical across backends, which only change the physics of
+  delivery, never the protocol.
 
-The API deliberately mirrors mpi4py (``send``/``recv``, ``bcast``,
-``gather``, ``allreduce``, ``barrier``, …).
+Pick a backend per call (``run_spmd(..., backend="process")``) or
+globally (``REPRO_VMPI_BACKEND=process``).
 """
 
+from repro.vmpi.backend import (
+    ExecutionBackend,
+    RankReport,
+    SPMDRun,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.vmpi.clock import CostModel, SimClock, INTRA_NODE, INTER_NODE
 from repro.vmpi.comm import Comm, DeadlockError
 from repro.vmpi.darray import DArray
-from repro.vmpi.launcher import run_spmd, SPMDRun, RankReport
 from repro.vmpi.grid import ProcessGrid2D
+from repro.vmpi.launcher import run_spmd
+from repro.vmpi.process_backend import ProcessBackend, process_backend_available
 
 __all__ = [
     "CostModel",
@@ -36,4 +50,9 @@ __all__ = [
     "SPMDRun",
     "RankReport",
     "ProcessGrid2D",
+    "ExecutionBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "process_backend_available",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.vmpi.clock import CostModel, SimClock
-from repro.vmpi.transport import Message, Transport, payload_nbytes, sanitize
+from repro.vmpi.transport import Message, payload_nbytes, sanitize
 
 
 class DeadlockError(RuntimeError):
@@ -44,7 +44,7 @@ class Comm:
 
     def __init__(
         self,
-        transport: Transport,
+        transport,  # Transport-shaped: .nranks, .put(Message), .get(rank, timeout)
         rank: int,
         *,
         cost_model: CostModel | None = None,
@@ -66,12 +66,17 @@ class Comm:
         """Buffered (non-blocking) send."""
         if dest == self.rank:
             raise ValueError("send to self is not supported; keep data local")
-        data = sanitize(payload) if self.copy_payloads else payload
+        # process-isolated transports make the defensive deep copy redundant
+        needs_copy = self.copy_payloads and getattr(self.transport, "needs_copy", True)
+        data = sanitize(payload) if needs_copy else payload
         nbytes = payload_nbytes(data)
         stamp = self.clock.on_send()
+        self.transport.put(Message(self.rank, dest, tag, data, nbytes, stamp))
+        # count only after the transport accepted the message, so a
+        # failed put (e.g. unpicklable payload on the process backend)
+        # does not skew cross-backend counter parity
         self.counters.messages_sent += 1
         self.counters.bytes_sent += nbytes
-        self.transport.put(Message(self.rank, dest, tag, data, nbytes, stamp))
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive matching ``(source, tag)``."""

@@ -1,73 +1,26 @@
-"""SPMD launcher: run one function on every rank, thread-per-rank.
+"""SPMD launcher: run one function on every rank.
 
-``run_spmd(p, fn, *args)`` mirrors ``mpiexec -n p``: it spawns ``p``
-threads, hands each a :class:`~repro.vmpi.comm.Comm`, and collects the
-per-rank return values plus a :class:`RankReport` of simulated time and
-communication counters.
+``run_spmd(p, fn, *args)`` mirrors ``mpiexec -n p``: it hands each of
+``p`` ranks a :class:`~repro.vmpi.comm.Comm` and collects the per-rank
+return values plus a :class:`RankReport` of simulated time and
+communication counters. *How* the ranks execute — threads in this
+process (default) or one OS process per rank with shared-memory array
+transport — is delegated to an :mod:`~repro.vmpi.backend`
+implementation, selected per call (``backend=``) or globally
+(``REPRO_VMPI_BACKEND``).
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.vmpi.backend import (  # noqa: F401 - re-exported for compatibility
+    ExecutionBackend,
+    RankReport,
+    SPMDRun,
+    resolve_backend,
+)
 from repro.vmpi.clock import CostModel
-from repro.vmpi.comm import Comm
-from repro.vmpi.transport import Transport
-
-
-@dataclass
-class RankReport:
-    """Per-rank outcome of an SPMD run."""
-
-    rank: int
-    sim_time: float
-    compute_time: float
-    other_time: float
-    messages_sent: int
-    bytes_sent: int
-    messages_received: int
-    bytes_received: int
-
-
-@dataclass
-class SPMDRun:
-    """Results and reports of all ranks."""
-
-    results: list[Any]
-    reports: list[RankReport]
-
-    @property
-    def elapsed(self) -> float:
-        """Simulated parallel wall time: the slowest rank's clock."""
-        return max(r.sim_time for r in self.reports)
-
-    @property
-    def compute(self) -> float:
-        """Simulated compute portion of the critical path (``t_comp``)."""
-        slowest = max(self.reports, key=lambda r: r.sim_time)
-        return slowest.compute_time
-
-    @property
-    def other(self) -> float:
-        """Communication + overhead on the critical path (``t_other``)."""
-        slowest = max(self.reports, key=lambda r: r.sim_time)
-        return slowest.other_time
-
-    @property
-    def total_messages(self) -> int:
-        return sum(r.messages_sent for r in self.reports)
-
-    @property
-    def total_bytes(self) -> int:
-        return sum(r.bytes_sent for r in self.reports)
-
-    def max_messages_per_rank(self) -> int:
-        return max(r.messages_sent for r in self.reports)
-
-    def max_bytes_per_rank(self) -> int:
-        return max(r.bytes_sent for r in self.reports)
 
 
 def run_spmd(
@@ -77,52 +30,21 @@ def run_spmd(
     cost_model: CostModel | None = None,
     copy_payloads: bool = True,
     timeout: float = 3600.0,
+    backend: str | ExecutionBackend | None = None,
 ) -> SPMDRun:
     """Execute ``fn(comm, *args)`` on ``nranks`` ranks.
 
     Exceptions on any rank abort the run and re-raise with the failing
     rank identified. ``args`` are shared (read-only by convention; pass
-    rank-specific data through scatter instead).
+    rank-specific data through scatter instead). ``backend`` picks the
+    execution strategy ("thread" or "process"); ``None`` uses the
+    configured default.
     """
-    transport = Transport(nranks)
-    comms = [
-        Comm(transport, r, cost_model=cost_model, copy_payloads=copy_payloads)
-        for r in range(nranks)
-    ]
-    results: list[Any] = [None] * nranks
-    errors: list[tuple[int, BaseException]] = []
-
-    def worker(rank: int) -> None:
-        try:
-            results[rank] = fn(comms[rank], *args)
-        except BaseException as exc:  # noqa: BLE001 - surfaced below
-            errors.append((rank, exc))
-
-    threads = [
-        threading.Thread(target=worker, args=(r,), name=f"vmpi-rank-{r}", daemon=True)
-        for r in range(nranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout=timeout)
-        if t.is_alive():
-            raise TimeoutError(f"SPMD run did not finish within {timeout}s ({t.name} alive)")
-    if errors:
-        rank, exc = errors[0]
-        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
-
-    reports = [
-        RankReport(
-            rank=c.rank,
-            sim_time=c.clock.local_time,
-            compute_time=c.clock.compute_time,
-            other_time=c.clock.other_time,
-            messages_sent=c.counters.messages_sent,
-            bytes_sent=c.counters.bytes_sent,
-            messages_received=c.counters.messages_received,
-            bytes_received=c.counters.bytes_received,
-        )
-        for c in comms
-    ]
-    return SPMDRun(results, reports)
+    return resolve_backend(backend).run(
+        nranks,
+        fn,
+        args,
+        cost_model=cost_model,
+        copy_payloads=copy_payloads,
+        timeout=timeout,
+    )

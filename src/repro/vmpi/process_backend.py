@@ -1,0 +1,409 @@
+"""Process-parallel execution backend with shared-memory array transport.
+
+Every rank is an OS process, so rank compute runs truly in parallel
+(no GIL). Messages travel through per-rank ``multiprocessing`` queues,
+but ``np.ndarray`` payloads above a size threshold are carved out of
+the message and shipped through ``multiprocessing.shared_memory``
+blocks: the sender pays one copy into the block, the receiver maps the
+block and wraps it in an ndarray *without copying*. Small control
+payloads (tags, box coordinates, op logs) ride the pickle channel.
+
+Lifetime protocol for a shared block: the sender creates it, copies the
+array in, and closes its handle; exactly one receiver attaches, unlinks
+the name immediately (POSIX keeps the mapping alive until the last
+handle closes), and ties the handle's lifetime to the zero-copy ndarray
+view with a ``weakref.finalize`` — resident shared memory tracks the
+receiver's working set, not total traffic. Mailboxes are drained on
+shutdown so blocks of never-received messages are still unlinked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import pickle
+import queue
+import time
+import traceback
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.util.config import vmpi_shm_min_bytes
+from repro.vmpi.backend import ExecutionBackend, RankReport, SPMDRun, report_from_comm
+from repro.vmpi.clock import CostModel
+from repro.vmpi.comm import Comm
+from repro.vmpi.transport import Message
+
+
+# ----------------------------------------------------------------------
+# shared-memory codec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShmRef:
+    """Placeholder for an ndarray that travels out-of-band in a shm block."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+def _close_when_collected(shm) -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a rogue export outlived the array
+        pass
+
+
+def _create_shm(nbytes: int):
+    """Allocate a block whose lifetime crosses processes.
+
+    On 3.13+ tracking is disabled outright (the creator is not the
+    destroyer, which the resource tracker cannot express). Before that,
+    the fork start method means every rank shares the parent's tracker
+    process, so the creator's implicit REGISTER is balanced by the
+    receiver's ``unlink()`` UNREGISTER and no manual bookkeeping is
+    needed; blocks orphaned by a crash get cleaned (with a warning) at
+    tracker shutdown.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=nbytes, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return shm
+
+
+def _attach_shm(name: str):
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: attaching never registers, nothing to undo
+        shm = shared_memory.SharedMemory(name=name)
+    return shm
+
+
+def encode_payload(obj: Any, min_bytes: int, created: list | None = None) -> Any:
+    """Replace large ndarrays in a payload tree with :class:`ShmRef` s.
+
+    Containers (tuple/list/dict) are walked recursively; anything
+    else — including ndarrays below ``min_bytes``, object-dtype and
+    void/structured arrays — is left in place for the pickle channel.
+    ``created`` (when given) collects every :class:`ShmRef` made, so a
+    caller that fails partway — mid-tree ``_create_shm`` ENOSPC, or a
+    later pickling error — can unlink the blocks already carved.
+    """
+    if isinstance(obj, np.ndarray):
+        # pickle-channel cases: 0-byte arrays (SharedMemory rejects
+        # size-0 blocks), object dtypes (not flat memory), and
+        # void/structured dtypes (field layout would be lost through
+        # the dtype.str round-trip)
+        if (
+            obj.nbytes == 0
+            or obj.nbytes < min_bytes
+            or obj.dtype.hasobject
+            or obj.dtype.kind == "V"
+        ):
+            return obj
+        arr = np.ascontiguousarray(obj)
+        shm = _create_shm(arr.nbytes)
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        ref = ShmRef(shm.name, arr.shape, arr.dtype.str)
+        shm.close()
+        if created is not None:
+            created.append(ref)
+        return ref
+    if isinstance(obj, tuple):
+        return tuple(encode_payload(x, min_bytes, created) for x in obj)
+    if isinstance(obj, list):
+        return [encode_payload(x, min_bytes, created) for x in obj]
+    if isinstance(obj, dict):
+        return {k: encode_payload(v, min_bytes, created) for k, v in obj.items()}
+    return obj
+
+
+def decode_payload(obj: Any) -> Any:
+    """Resolve :class:`ShmRef` s back into (zero-copy, writable) ndarrays.
+
+    The block's handle lives exactly as long as the decoded array (a
+    ``weakref.finalize`` closes it on collection), so resident shared
+    memory tracks the receiver's *working set*, not the total bytes
+    ever received.
+    """
+    if isinstance(obj, ShmRef):
+        shm = _attach_shm(obj.name)
+        try:
+            shm.unlink()  # name released now; mapping lives while handle does
+        except FileNotFoundError:  # pragma: no cover - duplicate cleanup
+            pass
+        arr = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype), buffer=shm.buf)
+        weakref.finalize(arr, _close_when_collected, shm)
+        return arr
+    if isinstance(obj, tuple):
+        return tuple(decode_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [decode_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: decode_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def _release_refs(obj: Any) -> None:
+    """Unlink every shm block referenced by an (undelivered) payload."""
+    if isinstance(obj, ShmRef):
+        try:
+            shm = _attach_shm(obj.name)
+            shm.unlink()
+            shm.close()
+        except FileNotFoundError:
+            pass
+        return
+    if isinstance(obj, (tuple, list, set)):
+        for x in obj:
+            _release_refs(x)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            _release_refs(v)
+
+
+def _drain_mailbox(q) -> None:
+    """Throw away queued messages, unlinking their shared blocks."""
+    while True:
+        try:
+            blob = q.get_nowait()
+        except (queue.Empty, OSError, ValueError):
+            return
+        try:
+            msg = pickle.loads(blob) if isinstance(blob, bytes) else blob
+        except Exception:  # pragma: no cover - truncated blob on teardown
+            continue
+        if isinstance(msg, Message):
+            _release_refs(msg.payload)
+
+
+# ----------------------------------------------------------------------
+# transport + backend
+# ----------------------------------------------------------------------
+class ProcessTransport:
+    """Per-rank ``multiprocessing`` queues with the shm array codec.
+
+    Process isolation makes deep-copying payloads on ``put`` redundant,
+    hence ``needs_copy = False`` (:class:`~repro.vmpi.comm.Comm` skips
+    ``sanitize``). Buffered-send semantics still require snapshotting
+    the payload *at put time*: large arrays are copied into their shm
+    blocks synchronously by ``encode_payload``, and the remainder is
+    pickled here rather than lazily in the queue's feeder thread —
+    otherwise a sender mutating a small array after ``send`` would leak
+    the mutation to the receiver.
+    """
+
+    needs_copy = False
+
+    def __init__(self, mailboxes: list, min_shm_bytes: int):
+        self.nranks = len(mailboxes)
+        self._mailboxes = mailboxes
+        self._min_shm_bytes = int(min_shm_bytes)
+
+    def put(self, message: Message) -> None:
+        if not (0 <= message.dest < self.nranks):
+            raise ValueError(f"invalid destination rank {message.dest}")
+        created: list = []
+        try:
+            payload = encode_payload(message.payload, self._min_shm_bytes, created)
+            blob = pickle.dumps(
+                dataclasses.replace(message, payload=payload),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            # encoding or pickling failed after some arrays were carved
+            # into shm blocks — unlink them or they outlive the run
+            _release_refs(created)
+            raise
+        self._mailboxes[message.dest].put(blob)
+
+    def get(self, rank: int, timeout: float) -> Message:
+        msg = pickle.loads(self._mailboxes[rank].get(timeout=timeout))
+        return dataclasses.replace(msg, payload=decode_payload(msg.payload))
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+
+
+def _rank_main(
+    rank: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    mailboxes: list,
+    results_q,
+    cost_model: CostModel | None,
+    copy_payloads: bool,
+    min_shm_bytes: int,
+) -> None:
+    """Entry point of one rank process."""
+    transport = ProcessTransport(mailboxes, min_shm_bytes)
+    comm = Comm(transport, rank, cost_model=cost_model, copy_payloads=copy_payloads)
+    try:
+        result = fn(comm, *args)
+        results_q.put((rank, True, result, report_from_comm(comm)))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        results_q.put((rank, False, _describe(exc), None))
+    finally:
+        _drain_mailbox(mailboxes[rank])
+
+
+_AVAILABLE: bool | None = None
+
+
+def process_backend_available() -> bool:
+    """True when this platform can actually allocate shared memory."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            shm = _create_shm(16)
+            shm.unlink()
+            shm.close()
+            multiprocessing.get_context(_pick_start_method())
+            _AVAILABLE = True
+        except Exception:  # pragma: no cover - platform-dependent
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _pick_start_method() -> str:
+    """Prefer fork on Linux (cheap launch, args inherited); elsewhere
+    keep the platform default — macOS lists fork as available but
+    forking after framework/BLAS initialization is unsafe there, which
+    is why CPython switched its default to spawn."""
+    import sys
+
+    methods = multiprocessing.get_all_start_methods()
+    if sys.platform == "linux" and "fork" in methods:
+        return "fork"
+    return multiprocessing.get_start_method(allow_none=False)
+
+
+class ProcessBackend(ExecutionBackend):
+    """One OS process per rank, shared-memory array transport."""
+
+    name = "process"
+
+    def __init__(self, start_method: str | None = None, min_shm_bytes: int | None = None):
+        self.start_method = start_method or _pick_start_method()
+        self.min_shm_bytes = (
+            vmpi_shm_min_bytes() if min_shm_bytes is None else int(min_shm_bytes)
+        )
+
+    def run(
+        self,
+        nranks: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        *,
+        cost_model: CostModel | None = None,
+        copy_payloads: bool = True,
+        timeout: float = 3600.0,
+    ) -> SPMDRun:
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        ctx = multiprocessing.get_context(self.start_method)
+        mailboxes = [ctx.Queue() for _ in range(nranks)]
+        results_q = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_rank_main,
+                args=(
+                    r,
+                    fn,
+                    args,
+                    mailboxes,
+                    results_q,
+                    cost_model,
+                    copy_payloads,
+                    self.min_shm_bytes,
+                ),
+                name=f"vmpi-rank-{r}",
+                daemon=True,
+            )
+            for r in range(nranks)
+        ]
+        outcomes: dict[int, tuple] = {}
+        try:
+            for pr in procs:
+                pr.start()
+            self._collect(procs, results_q, outcomes, nranks, timeout)
+            failures = [o for o in outcomes.values() if not o[1]]
+            if failures:
+                rank, _ok, desc, _rep = min(failures, key=lambda o: o[0])
+                raise RuntimeError(f"rank {rank} failed: {desc}")
+            results = [outcomes[r][2] for r in range(nranks)]
+            reports: list[RankReport] = [outcomes[r][3] for r in range(nranks)]
+            return SPMDRun(results, reports)
+        finally:
+            for q in mailboxes:
+                _drain_mailbox(q)  # unblocks child queue feeders + frees shm
+            for pr in procs:
+                pr.join(timeout=1.0)
+            for pr in procs:  # stuck ranks (failed runs): don't wait out recv timeouts
+                if pr.is_alive():
+                    pr.terminate()
+            for pr in procs:
+                if pr.is_alive():
+                    pr.join(timeout=10.0)
+            for q in [*mailboxes, results_q]:
+                _drain_mailbox(q)
+                q.close()
+                q.join_thread()
+
+    def _collect(
+        self,
+        procs: list,
+        results_q,
+        outcomes: dict[int, tuple],
+        nranks: int,
+        timeout: float,
+    ) -> None:
+        """Gather one outcome per rank, stopping early on failure."""
+        deadline = time.monotonic() + timeout
+        while len(outcomes) < nranks:
+            try:
+                item = results_q.get(timeout=0.2)
+            except queue.Empty:
+                if time.monotonic() > deadline:
+                    pending = sorted(set(range(nranks)) - set(outcomes))
+                    raise TimeoutError(
+                        f"SPMD run did not finish within {timeout}s (ranks {pending} alive)"
+                    ) from None
+                dead = [
+                    r
+                    for r, pr in enumerate(procs)
+                    if r not in outcomes and pr.exitcode is not None
+                ]
+                if dead:
+                    try:  # the result may still be in flight; one grace read
+                        item = results_q.get(timeout=1.0)
+                    except queue.Empty:
+                        code = procs[dead[0]].exitcode
+                        detail = (
+                            "exited without reporting a result "
+                            "(unpicklable return value?)"
+                            if code == 0
+                            else f"died with exit code {code}"
+                        )
+                        raise RuntimeError(f"rank {dead[0]} {detail}") from None
+                else:
+                    continue
+            outcomes[item[0]] = item
+            if not item[1]:  # a failed rank poisons the whole run: stop waiting
+                grace = time.monotonic() + 1.0
+                while time.monotonic() < grace:
+                    try:
+                        late = results_q.get(timeout=0.1)
+                        outcomes[late[0]] = late
+                    except queue.Empty:
+                        pass
+                return

@@ -8,6 +8,7 @@ as in a real distributed-memory machine.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import pickle
 import queue
 from dataclasses import dataclass
@@ -27,21 +28,37 @@ class Message:
 
 
 def payload_nbytes(obj: Any) -> int:
-    """Approximate wire size of a payload in bytes."""
+    """Approximate wire size of a payload in bytes.
+
+    Sizes are dtype-accurate for arrays and numpy scalars (``.nbytes``)
+    and use fixed wire widths for Python scalars (int64/double/complex
+    double), so the per-rank byte counters behind ``SPMDRun.total_bytes``
+    are comparable across runs, dtypes, and execution backends.
+    """
     if obj is None:
         return 8
     if isinstance(obj, np.ndarray):
         return obj.nbytes
+    if isinstance(obj, np.generic):  # before the Python-scalar branch:
+        return obj.nbytes  # np.float64 etc. subclass Python float
     if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, str):
         return len(obj.encode())
-    if isinstance(obj, (int, float, complex, bool, np.generic)):
+    if isinstance(obj, bool):  # before int: bool subclasses int
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, complex):
         return 16
     if isinstance(obj, (list, tuple, set)):
         return 16 + sum(payload_nbytes(x) for x in obj)
     if isinstance(obj, dict):
         return 16 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return 16 + sum(
+            payload_nbytes(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        )
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:  # pragma: no cover - unpicklable payloads
@@ -66,7 +83,15 @@ def sanitize(obj: Any) -> Any:
 
 
 class Transport:
-    """One unbounded mailbox per rank."""
+    """One unbounded in-process mailbox per rank (thread backend).
+
+    Ranks share an address space here, so ``needs_copy`` tells the
+    communicator to deep-copy payloads on send; process-isolated
+    transports (:class:`~repro.vmpi.process_backend.ProcessTransport`)
+    set it to ``False`` because isolation is physical.
+    """
+
+    needs_copy = True
 
     def __init__(self, nranks: int):
         if nranks <= 0:

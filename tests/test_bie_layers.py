@@ -166,3 +166,78 @@ def test_dtypes(circle_bd):
     assert HelmholtzSLP(circle_bd, 2.0).dtype == np.complex128
     assert HelmholtzCFIE(circle_bd, 2.0).dtype == np.complex128
     assert not LaplaceSLP(circle_bd).is_translation_invariant
+
+
+# ----------------------------------------------------------------------
+# distributed support: rank-local spawn
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda bd: LaplaceSLP(bd, kr_order=6),
+        lambda bd: LaplaceDLP(bd, identity=-0.5),
+        lambda bd: HelmholtzCFIE(bd, 6.0),
+    ],
+)
+def test_spawn_matches_full_kernel_blocks(star_bd, make):
+    """A spawned subset kernel must reproduce the exact entries of the
+    full kernel — including the Kapur--Rokhlin band, which is defined by
+    *global* periodic index distance."""
+    full = make(star_bd)
+    # a contiguous arc plus a far chunk: exercises band interior + edges
+    subset = np.concatenate([np.arange(40, 80), np.arange(300, 330)])
+    local = full.spawn(full.points[subset], full.per_point_data(subset))
+    loc = np.arange(subset.size)
+    np.testing.assert_array_equal(
+        local.block(loc, loc), full.block(subset, subset)
+    )
+    proxy = np.array([[2.5, 0.0], [0.0, 2.5], [-2.5, 0.5]])
+    np.testing.assert_array_equal(
+        local.proxy_row_block(proxy, loc), full.proxy_row_block(proxy, subset)
+    )
+    np.testing.assert_array_equal(
+        local.proxy_col_block(loc, proxy), full.proxy_col_block(subset, proxy)
+    )
+
+
+def test_spawn_tree_resolution_uses_global_spacing(star_bd):
+    """check_tree_resolution must not overestimate the node spacing on a
+    subset (local count != global count)."""
+    full = LaplaceSLP(star_bd, kr_order=6)
+    tree = QuadTree.for_leaf_size(star_bd.points, 64)
+    full.check_tree_resolution(tree)  # sanity: fine on the full curve
+    subset = np.arange(0, star_bd.n, 4)  # 4x fewer nodes
+    local = full.spawn(full.points[subset], full.per_point_data(subset))
+    local.check_tree_resolution(tree)  # must not raise either
+    # nor *underestimate* it: a subset excluding the fastest arc must
+    # still enforce the full-curve band (deep tree the full kernel rejects)
+    deep = QuadTree(star_bd.points, 8)
+    with pytest.raises(ValueError, match="Kapur-Rokhlin band"):
+        full.check_tree_resolution(deep)
+    slow = np.sort(np.argsort(star_bd.speed)[: star_bd.n // 2])  # slowest half
+    local2 = full.spawn(full.points[slow], full.per_point_data(slow))
+    with pytest.raises(ValueError, match="Kapur-Rokhlin band"):
+        local2.check_tree_resolution(deep)
+
+
+def test_spawn_potential_rejected(star_bd):
+    full = LaplaceDLP(star_bd)
+    subset = np.arange(100)
+    local = full.spawn(full.points[subset], full.per_point_data(subset))
+    with pytest.raises(RuntimeError, match="full-curve"):
+        local.potential(np.array([[0.0, 0.0]]), np.ones(subset.size))
+
+
+def test_parallel_factor_enforces_tree_resolution(star_bd):
+    """The distributed driver must validate the KR band against the tree
+    it will factor on, like the sequential path does."""
+    from repro.geometry.domain import Square
+    from repro.parallel import parallel_srs_factor
+    from repro.core.options import SRSOptions
+
+    slp = LaplaceSLP(star_bd, kr_order=10)
+    dom = Square.bounding(star_bd.points)
+    with pytest.raises(ValueError, match="Kapur-Rokhlin band"):
+        parallel_srs_factor(
+            slp, 4, opts=SRSOptions(tol=1e-8, leaf_size=4), nlevels=7, domain=dom
+        )

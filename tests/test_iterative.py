@@ -61,6 +61,38 @@ def test_cg_maxiter_not_converged(spd, rng):
     assert not res.converged and res.iterations == 2
 
 
+def test_cg_integer_rhs_promotes():
+    """An integer rhs must not silently run integer arithmetic."""
+    b = np.array([2, 4, 6])
+    res = cg(lambda v: 2.0 * v, b, tol=1e-14)
+    assert res.x.dtype == np.float64
+    assert res.converged
+    np.testing.assert_allclose(res.x, [1.0, 2.0, 3.0])
+    zero = cg(lambda v: 2.0 * v, np.zeros(3, dtype=np.int64))
+    assert zero.x.dtype == np.float64
+
+
+def test_cg_semidefinite_breakdown_is_finite():
+    """A numerically-zero curvature ``p* A p`` must stop the iteration,
+    not divide through and blow up (exact ``denom == 0`` misses it)."""
+    tiny = 1e-20
+    # antisymmetric part contributes exactly 0 to p* A p; the tiny
+    # symmetric part leaves a denominator far below eps * |p| |Ap|
+    a = np.array([[tiny, 1.0], [-1.0, tiny]])
+    b = np.array([1.0, 1.0])
+    res = cg(lambda v: a @ v, b, tol=1e-14, maxiter=10)
+    assert not res.converged
+    assert res.iterations == 0
+    assert np.all(np.isfinite(res.x))
+    assert all(np.isfinite(h) for h in res.residual_history)
+
+
+def test_cg_exact_zero_denominator_breakdown():
+    a = np.array([[1.0, 0.0], [0.0, 0.0]])  # semi-definite
+    res = cg(lambda v: a @ v, np.array([0.0, 1.0]), tol=1e-14, maxiter=10)
+    assert not res.converged and np.all(np.isfinite(res.x))
+
+
 # -- GMRES -------------------------------------------------------------
 @pytest.fixture
 def complex_system(rng):
@@ -119,6 +151,66 @@ def test_gmres_invalid_restart(complex_system):
     a, b = complex_system
     with pytest.raises(ValueError):
         gmres(lambda v: a @ v, b, restart=0)
+
+
+def test_gmres_happy_breakdown_identity():
+    """A = I: the Krylov space is 1-dimensional; the Arnoldi loop must
+    stop at the breakdown instead of iterating on an uninitialized
+    basis column."""
+    b = np.arange(1.0, 9.0)
+    res = gmres(lambda v: v.copy(), b, tol=1e-12, restart=5)
+    assert res.converged
+    assert res.iterations == 1
+    assert np.all(np.isfinite(res.x))
+    np.testing.assert_allclose(res.x, b, rtol=1e-14)
+
+
+def test_gmres_happy_breakdown_invariant_subspace():
+    """rhs spanning two eigenvectors: exact solution (and breakdown)
+    after two inner iterations, well inside the restart window."""
+    d = np.array([2.0, 5.0, 7.0, 11.0, 3.0])
+    b = np.zeros(5)
+    b[0], b[2] = 3.0, -4.0  # invariant 2-dimensional subspace
+    res = gmres(lambda v: d * v, b, tol=1e-13, restart=5, maxiter=50)
+    assert res.converged
+    assert res.iterations == 2
+    np.testing.assert_allclose(res.x, b / d, rtol=1e-12)
+    assert all(np.isfinite(h) for h in res.residual_history)
+
+
+def test_gmres_breakdown_with_zero_tol_terminates():
+    """Breakdown must exit the inner loop even when ``tol`` is
+    unreachable — iterating past it would read the uninitialized
+    ``basis[:, j+1]`` column."""
+    b = np.ones(4)  # |b| = 2 exactly, so Arnoldi breaks down exactly
+    res = gmres(lambda v: v.copy(), b, tol=0.0, restart=4, maxiter=16)
+    assert np.all(np.isfinite(res.x))
+    np.testing.assert_allclose(res.x, b, rtol=1e-14)
+
+
+def test_gmres_singular_operator_no_crash():
+    """Breakdown with a singular Hessenberg (rank-deficient A, rhs
+    touching the nullspace) must return not-converged, not raise
+    LinAlgError from the triangular solve, and not spin to maxiter."""
+    res = gmres(lambda v: np.zeros_like(v), np.ones(4), tol=1e-12, maxiter=100)
+    assert not res.converged
+    assert res.iterations <= 2
+    assert np.all(np.isfinite(res.x))
+
+    a = np.diag([1.0, 0.0])
+    res = gmres(lambda v: a @ v, np.array([0.0, 1.0]), tol=1e-12, maxiter=100)
+    assert not res.converged
+    assert np.all(np.isfinite(res.x))
+
+
+def test_gmres_singular_operator_consistent_rhs():
+    """Rank-deficient but consistent system: the minimum-norm Krylov
+    solution still solves it."""
+    a = np.diag([2.0, 3.0, 0.0])
+    b = np.array([4.0, 9.0, 0.0])
+    res = gmres(lambda v: a @ v, b, tol=1e-12, maxiter=100)
+    assert res.converged
+    np.testing.assert_allclose(res.x[:2], [2.0, 3.0], rtol=1e-12)
 
 
 def test_gmres_matches_scipy(complex_system):

@@ -61,3 +61,29 @@ def test_bench_scale_validation(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_SCALE", "9")
     with pytest.raises(ValueError):
         bench_scale()
+
+
+def test_vmpi_backend_config(monkeypatch):
+    from repro.util.config import vmpi_backend
+
+    monkeypatch.delenv("REPRO_VMPI_BACKEND", raising=False)
+    assert vmpi_backend() == "thread"
+    monkeypatch.setenv("REPRO_VMPI_BACKEND", "Process")
+    assert vmpi_backend() == "process"
+    monkeypatch.setenv("REPRO_VMPI_BACKEND", "")
+    assert vmpi_backend() == "thread"
+    monkeypatch.setenv("REPRO_VMPI_BACKEND", "julia")
+    with pytest.raises(ValueError):
+        vmpi_backend()
+
+
+def test_vmpi_shm_min_bytes_config(monkeypatch):
+    from repro.util.config import vmpi_shm_min_bytes
+
+    monkeypatch.delenv("REPRO_VMPI_SHM_MIN_BYTES", raising=False)
+    assert vmpi_shm_min_bytes() == 2048
+    monkeypatch.setenv("REPRO_VMPI_SHM_MIN_BYTES", "0")
+    assert vmpi_shm_min_bytes() == 0
+    monkeypatch.setenv("REPRO_VMPI_SHM_MIN_BYTES", "-1")
+    with pytest.raises(ValueError):
+        vmpi_shm_min_bytes()

@@ -1,0 +1,355 @@
+"""Thread/process execution-backend parity and shared-memory codec tests.
+
+The two backends must be observationally identical: bitwise-equal
+results and equal message/byte counters — only the physics of delivery
+(threads + deep copies vs processes + shared-memory blocks) differs.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.parallel import parallel_srs_factor
+from repro.vmpi import (
+    ProcessBackend,
+    ThreadBackend,
+    process_backend_available,
+    resolve_backend,
+    run_spmd,
+)
+from repro.vmpi.process_backend import decode_payload, encode_payload
+
+needs_process = pytest.mark.skipif(
+    not process_backend_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+
+# ----------------------------------------------------------------------
+# backend resolution / config
+# ----------------------------------------------------------------------
+def test_resolve_backend_default_is_thread(monkeypatch):
+    monkeypatch.delenv("REPRO_VMPI_BACKEND", raising=False)
+    assert resolve_backend(None).name == "thread"
+    assert resolve_backend("thread").name == "thread"
+
+
+def test_resolve_backend_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_VMPI_BACKEND", "process")
+    if process_backend_available():
+        assert resolve_backend(None).name == "process"
+    monkeypatch.setenv("REPRO_VMPI_BACKEND", "bogus")
+    with pytest.raises(ValueError):
+        resolve_backend(None)
+
+
+def test_resolve_backend_passthrough_instance():
+    be = ThreadBackend()
+    assert resolve_backend(be) is be
+
+
+def test_resolve_backend_normalizes_strings(monkeypatch):
+    assert resolve_backend(" Thread ").name == "thread"
+    if process_backend_available():
+        assert resolve_backend("Process").name == "process"
+    # blank spec falls back to the configured default, like an unset var
+    monkeypatch.delenv("REPRO_VMPI_BACKEND", raising=False)
+    assert resolve_backend("").name == "thread"
+    assert resolve_backend("  ").name == "thread"
+
+
+# ----------------------------------------------------------------------
+# shared-memory codec
+# ----------------------------------------------------------------------
+@needs_process
+def test_shm_codec_roundtrip_nested():
+    payload = {
+        "big": np.arange(4096, dtype=np.float64),
+        "complex": (np.zeros((64, 64), dtype=np.complex128) + 1j),
+        "small": np.arange(4, dtype=np.int32),
+        "scalars": [1, 2.5, "tag", None, (3, 4)],
+    }
+    encoded = encode_payload(payload, min_bytes=2048)
+    # the large arrays were carved out, the small one rides the pickle channel
+    assert not isinstance(encoded["big"], np.ndarray)
+    assert not isinstance(encoded["complex"], np.ndarray)
+    assert isinstance(encoded["small"], np.ndarray)
+    decoded = decode_payload(pickle.loads(pickle.dumps(encoded)))
+    np.testing.assert_array_equal(decoded["big"], payload["big"])
+    assert decoded["big"].dtype == payload["big"].dtype
+    np.testing.assert_array_equal(decoded["complex"], payload["complex"])
+    np.testing.assert_array_equal(decoded["small"], payload["small"])
+    assert decoded["scalars"] == payload["scalars"]
+
+
+@needs_process
+def test_shm_codec_structured_dtype_rides_pickle_channel():
+    """Structured dtypes lose their field layout through dtype.str, so
+    they must stay on the pickle channel regardless of size."""
+    rec = np.zeros(1000, dtype=[("a", "f8"), ("b", "i8")])
+    rec["a"] = 1.5
+    encoded = encode_payload({"rec": rec}, min_bytes=0)
+    assert isinstance(encoded["rec"], np.ndarray)
+    decoded = decode_payload(pickle.loads(pickle.dumps(encoded)))
+    assert decoded["rec"].dtype.names == ("a", "b")
+    np.testing.assert_array_equal(decoded["rec"]["a"], rec["a"])
+
+
+def _structured_send_prog(comm):
+    rec = np.zeros(500, dtype=[("a", "f8"), ("b", "i8")])
+    rec["b"] = np.arange(500)
+    if comm.rank == 0:
+        comm.send(rec, 1)
+        return None
+    got = comm.recv(0)
+    return int(got["b"].sum())
+
+
+@needs_process
+def test_process_backend_structured_dtype_parity():
+    expected = int(np.arange(500).sum())
+    for backend in ("thread", "process"):
+        assert run_spmd(2, _structured_send_prog, backend=backend).results[1] == expected
+
+
+@needs_process
+def test_shm_codec_empty_arrays_at_zero_threshold():
+    """0-byte arrays must stay on the pickle channel even when the
+    threshold is 0 (SharedMemory rejects size-0 blocks)."""
+    payload = {"empty": np.empty(0, dtype=np.int64), "data": np.arange(8.0)}
+    encoded = encode_payload(payload, min_bytes=0)
+    assert isinstance(encoded["empty"], np.ndarray)
+    assert not isinstance(encoded["data"], np.ndarray)
+    decoded = decode_payload(encoded)
+    assert decoded["empty"].size == 0
+    np.testing.assert_array_equal(decoded["data"], payload["data"])
+
+
+def _empty_send_prog(comm):
+    if comm.rank == 0:
+        comm.send(np.empty(0, dtype=np.int64), 1)
+        return None
+    return comm.recv(0).size
+
+
+@needs_process
+def test_process_backend_zero_threshold_run():
+    from repro.vmpi import ProcessBackend
+
+    run = run_spmd(2, _empty_send_prog, backend=ProcessBackend(min_shm_bytes=0))
+    assert run.results[1] == 0
+
+
+@needs_process
+def test_shm_codec_noncontiguous_and_isolation():
+    base = np.arange(10000, dtype=np.float64).reshape(100, 100)
+    view = base[::2, ::2]  # non-contiguous
+    decoded = decode_payload(encode_payload(view, min_bytes=0))
+    np.testing.assert_array_equal(decoded, view)
+    decoded[0, 0] = -1.0  # writable, and isolated from the source
+    assert base[0, 0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# SPMD parity
+# ----------------------------------------------------------------------
+def _collective_prog(comm):
+    rank = comm.rank
+    data = np.arange(3000, dtype=np.float64) * (rank + 1)
+    total = comm.allreduce(float(data.sum()), lambda a, b: a + b)
+    gathered = comm.gather(np.full(rank + 1, rank, dtype=np.int64), 0)
+    chunk = comm.scatter(
+        [np.arange(i + 1, dtype=np.float64) for i in range(comm.size)] if rank == 0 else None,
+        0,
+    )
+    peer = rank ^ 1
+    comm.send(data, peer, tag=5)
+    mirror = comm.recv(peer, tag=5)
+    return (
+        total,
+        None if gathered is None else [g.tolist() for g in gathered],
+        chunk.tolist(),
+        float(mirror.sum()),
+    )
+
+
+@needs_process
+def test_collectives_parity_and_counters():
+    runs = {
+        be.name: run_spmd(4, _collective_prog, backend=be)
+        for be in (ThreadBackend(), ProcessBackend())
+    }
+    t, p = runs["thread"], runs["process"]
+    assert t.results == p.results
+    for rt, rp in zip(t.reports, p.reports):
+        assert rt.messages_sent == rp.messages_sent
+        assert rt.bytes_sent == rp.bytes_sent
+        assert rt.messages_received == rp.messages_received
+        assert rt.bytes_received == rp.bytes_received
+
+
+def _mutate_prog(comm):
+    data = np.arange(5000, dtype=np.float64)
+    if comm.rank == 0:
+        comm.send(data, 1, tag=1)
+        comm.barrier()
+        return float(data.sum())  # sender must be unaffected
+    if comm.rank == 1:
+        got = comm.recv(0, tag=1)
+        got[:] = -1.0
+        comm.barrier()
+        return float(got.sum())
+    comm.barrier()
+    return None
+
+
+@needs_process
+def test_process_rank_isolation_with_shm_arrays():
+    """Mutating a received shm-backed array must not leak to the sender."""
+    run = run_spmd(2, _mutate_prog, backend="process")
+    assert run.results[0] == float(np.arange(5000, dtype=np.float64).sum())
+    assert run.results[1] == -5000.0
+
+
+def _mutate_after_send_prog(comm):
+    # one array below the shm threshold (pickle channel), one above
+    small = np.arange(100, dtype=np.float64)
+    big = np.arange(5000, dtype=np.float64)
+    if comm.rank == 0:
+        comm.send(small, 1, tag=1)
+        comm.send(big, 1, tag=2)
+        small[:] = -1.0  # after-send mutation must NOT reach the receiver
+        big[:] = -1.0
+        comm.barrier()
+        return None
+    got_small = comm.recv(0, tag=1)
+    got_big = comm.recv(0, tag=2)
+    comm.barrier()
+    return float(got_small.sum()), float(got_big.sum())
+
+
+@needs_process
+def test_send_snapshots_payload_at_put_time():
+    """Buffered-send semantics: the receiver sees the payload as it was
+    at ``send`` time on both transport channels (shm copies happen
+    synchronously; the pickle channel must not serialize lazily in the
+    queue feeder thread)."""
+    for backend in ("thread", "process"):
+        run = run_spmd(2, _mutate_after_send_prog, backend=backend)
+        assert run.results[1] == (
+            float(np.arange(100).sum()),
+            float(np.arange(5000).sum()),
+        ), backend
+
+
+def _boom_prog(comm):
+    if comm.rank == 2:
+        raise ValueError("boom")
+    return comm.rank
+
+
+@needs_process
+def test_process_backend_error_propagates():
+    with pytest.raises(RuntimeError, match="rank 2"):
+        run_spmd(4, _boom_prog, backend="process")
+
+
+def _unpicklable_payload_prog(comm):
+    if comm.rank == 0:
+        try:
+            comm.send({"big": np.zeros(5000), "cb": lambda: 1}, 1)
+        except Exception:
+            pass  # expected: the payload cannot be pickled
+        comm.send("done", 1, tag=9)
+        return None
+    return comm.recv(0, tag=9)
+
+
+@needs_process
+def test_put_releases_shm_blocks_on_pickle_failure():
+    """If pickling fails after large arrays were carved into shm blocks,
+    the blocks must be unlinked, not orphaned in /dev/shm."""
+    import glob
+
+    before = set(glob.glob("/dev/shm/psm_*"))
+    run = run_spmd(2, _unpicklable_payload_prog, backend="process")
+    assert run.results[1] == "done"
+    leaked = set(glob.glob("/dev/shm/psm_*")) - before
+    assert not leaked, leaked
+    # the failed send must not have been counted
+    assert run.reports[0].messages_sent == 1
+
+
+def _unpicklable_prog(comm):
+    return lambda: 1  # dies in the child's queue feeder, not in fn
+
+
+@needs_process
+def test_process_backend_unpicklable_result_fails_fast():
+    """A result the queue cannot pickle must raise, not hang to timeout."""
+    with pytest.raises(RuntimeError, match="without reporting a result"):
+        run_spmd(2, _unpicklable_prog, backend="process", timeout=30.0)
+
+
+# ----------------------------------------------------------------------
+# distributed factorization parity (small Table II configuration)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def factor_pair():
+    if not process_backend_available():
+        pytest.skip("process backend unavailable")
+    prob = LaplaceVolumeProblem(32)
+    b = prob.random_rhs()
+    opts = SRSOptions(tol=1e-9, leaf_size=32)
+    out = {}
+    for be in ("thread", "process"):
+        fact = parallel_srs_factor(prob.kernel, 4, opts=opts, backend=be)
+        out[be] = (fact, fact.solve(b))
+    return out
+
+
+def test_factorization_bitwise_parity(factor_pair):
+    x_thread = factor_pair["thread"][1]
+    x_process = factor_pair["process"][1]
+    assert np.array_equal(x_thread, x_process)  # bitwise, not allclose
+
+
+def test_factorization_counter_parity(factor_pair):
+    rt = factor_pair["thread"][0].factor_run.reports
+    rp = factor_pair["process"][0].factor_run.reports
+    for a, c in zip(rt, rp):
+        assert (a.messages_sent, a.bytes_sent) == (c.messages_sent, c.bytes_sent)
+        assert (a.messages_received, a.bytes_received) == (
+            c.messages_received,
+            c.bytes_received,
+        )
+    st = factor_pair["thread"][0].last_solve_run
+    sp = factor_pair["process"][0].last_solve_run
+    assert st.total_messages == sp.total_messages
+    assert st.total_bytes == sp.total_bytes
+
+
+def test_factorization_skeleton_parity(factor_pair):
+    ft = factor_pair["thread"][0]
+    fp = factor_pair["process"][0]
+    assert ft.eliminated_count() == fp.eliminated_count()
+    for wt, wp in zip(ft.workers, fp.workers):
+        assert wt.rank == wp.rank
+        assert len(wt.records) == len(wp.records)
+        for a, c in zip(wt.records, wp.records):
+            assert a.box == c.box and a.level == c.level
+            assert np.array_equal(a.skeleton, c.skeleton)
+            assert np.array_equal(a.redundant, c.redundant)
+
+
+def test_worker_result_picklable(factor_pair):
+    """Process ranks ship WorkerResult through the result queue."""
+    workers = factor_pair["thread"][0].workers
+    clone = pickle.loads(pickle.dumps(workers))
+    assert [w.rank for w in clone] == [w.rank for w in workers]
+    assert all(
+        np.array_equal(a.leaf_ids, b.leaf_ids) for a, b in zip(clone, workers)
+    )

@@ -17,6 +17,37 @@ def test_payload_nbytes_containers():
     assert n >= 16 + 24 + 16
 
 
+def test_payload_nbytes_scalars_dtype_accurate():
+    """Numpy scalars are counted at their dtype width, not a flat 16."""
+    assert payload_nbytes(np.float32(1.0)) == 4
+    assert payload_nbytes(np.float64(1.0)) == 8
+    assert payload_nbytes(np.complex128(1.0)) == 16
+    assert payload_nbytes(np.int16(3)) == 2
+    assert payload_nbytes(np.clongdouble(1.0)) == np.dtype(np.clongdouble).itemsize
+    # Python scalars at their wire widths (int64 / double / complex double)
+    assert payload_nbytes(7) == 8
+    assert payload_nbytes(1.5) == 8
+    assert payload_nbytes(1 + 2j) == 16
+    assert payload_nbytes(True) == 1
+
+
+def test_payload_nbytes_dataclass_counts_fields():
+    """Dataclass payloads are priced per field like other containers, so
+    nested arrays dominate the count instead of the pickle fallback."""
+    from dataclasses import dataclass
+
+    @dataclass
+    class Ship:
+        ids: np.ndarray
+        coords: np.ndarray
+        label: str
+
+    ship = Ship(np.zeros(100, dtype=np.int64), np.zeros((100, 2)), "x")
+    n = payload_nbytes(ship)
+    assert n >= 800 + 1600 + 1
+    assert n <= 800 + 1600 + 1 + 64
+
+
 def test_sanitize_copies_arrays():
     a = np.arange(5)
     out = sanitize({"x": a, "y": (a, [a])})
