@@ -3,16 +3,17 @@
 Quantifies what compressing the far field buys (Sec. I-A): the RS-S
 preconditioned CG count is constant in N, block-Jacobi (drop the far
 field instead of compressing it) grows, and unpreconditioned CG grows
-like sqrt(condition) ~ sqrt(N).
+like sqrt(condition) ~ sqrt(N). The two preconditioned runs are the
+facade's ``method="pcg"`` and ``method="block_jacobi"`` strategies on
+the same :class:`SolveConfig` shape, so the comparison is pure
+preconditioner quality.
 """
-
-import time
 
 import pytest
 
 from common import SCALE, save_table
+from repro import SolveConfig, solve
 from repro.apps import LaplaceVolumeProblem
-from repro.baselines import BlockJacobiPreconditioner
 from repro.core import SRSOptions
 from repro.iterative import cg
 from repro.reporting import Table, format_seconds
@@ -31,19 +32,24 @@ def sweep():
     for m in M_SWEEP:
         prob = LaplaceVolumeProblem(m)
         b = prob.random_rhs()
-        t0 = time.perf_counter()
-        fact = prob.factor(SRSOptions(tol=1e-6, leaf_size=64))
-        t_srs = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        jac = BlockJacobiPreconditioner(prob.kernel, leaf_size=64)
-        t_jac = time.perf_counter() - t0
-        n_srs = cg(prob.matvec, b, preconditioner=fact.solve, tol=TOL, maxiter=20000).iterations
-        n_jac = cg(prob.matvec, b, preconditioner=jac.solve, tol=TOL, maxiter=20000).iterations
+        srs = solve(
+            prob,
+            b,
+            SolveConfig(
+                method="pcg", tol=TOL, maxiter=20000, srs=SRSOptions(tol=1e-6, leaf_size=64)
+            ),
+        )
+        jac = solve(prob, b, SolveConfig(method="block_jacobi", tol=TOL, maxiter=20000))
         n_plain = cg(prob.matvec, b, tol=TOL, maxiter=50000).iterations
         table.add_row(
-            f"{m}^2", n_srs, format_seconds(t_srs), n_jac, format_seconds(t_jac), n_plain
+            f"{m}^2",
+            srs.iterations,
+            format_seconds(srs.t_setup),
+            jac.iterations,
+            format_seconds(jac.t_setup),
+            n_plain,
         )
-        raw.append((m, n_srs, n_jac, n_plain))
+        raw.append((m, srs.iterations, jac.iterations, n_plain))
     save_table("ablation_preconditioners", table.render())
     return raw
 
@@ -51,7 +57,9 @@ def sweep():
 def test_preconditioner_ablation_generated(sweep, benchmark):
     prob = LaplaceVolumeProblem(M_SWEEP[0])
     benchmark.pedantic(
-        lambda: BlockJacobiPreconditioner(prob.kernel, leaf_size=64), rounds=1, iterations=1
+        lambda: solve(prob, prob.random_rhs(), SolveConfig(method="block_jacobi", tol=TOL)),
+        rounds=1,
+        iterations=1,
     )
     assert len(sweep) == len(M_SWEEP)
 

@@ -1,26 +1,29 @@
-"""BIE star-curve benchmark: RS-S factorization + solve vs dense LU.
+"""BIE star-curve benchmark: RS-S vs dense LU vs distributed RS-S.
 
-Interior Laplace Dirichlet on the 5-armed smooth star, solved (a) by
-dense LU on the assembled Nystrom matrix and (b) by the RS-S direct
-solver over the bounding-box quadtree. Columns report wall-clock
-seconds, the RS-S speedup over LU at the solve stage, and the interior
-max-norm error of each solution against the analytic harmonic data —
-demonstrating that the compressed solve matches dense accuracy while
-scaling like O(N).
+Interior Laplace Dirichlet on the 5-armed smooth star, driven entirely
+through the unified ``repro.solve`` pipeline: (a) dense LU on the
+assembled Nystrom matrix (``method="dense_lu"``), (b) the sequential
+RS-S direct solver (``method="direct"``), and (c) the same direct
+solve distributed over simulated ranks (``execution="auto"`` — thread
+or process backend by core count), now that the BIE kernels support
+rank-local reconstruction. Columns report wall-clock seconds, the
+RS-S speedup over LU at the solve stage, the simulated distributed
+factorization time, and the interior max-norm error of each solution
+against the analytic harmonic data — demonstrating that the compressed
+(and distributed) solves match dense accuracy while scaling like O(N).
 """
-
-import time
 
 import numpy as np
 import pytest
-import scipy.linalg
 
 from common import SCALE, save_table
+from repro import SolveConfig, solve
 from repro.bie import InteriorDirichletProblem, StarCurve, harmonic_exponential
 from repro.core import SRSOptions
 from repro.reporting import Table, format_sci, format_seconds
 
 OPTS = SRSOptions(tol=1e-10)
+RANKS = 4
 
 
 def bie_sizes() -> list[int]:
@@ -36,36 +39,45 @@ def solve_error(prob: InteriorDirichletProblem, tau: np.ndarray) -> float:
 
 def run_sweep() -> Table:
     table = Table(
-        "BIE star curve: interior Laplace Dirichlet, RS-S vs dense LU (seconds)",
-        ["N", "t_lu", "t_lu_solve", "t_fact", "t_solve", "solve_speedup", "err_lu", "err_rss"],
+        "BIE star curve via repro.solve: dense LU vs RS-S vs distributed RS-S",
+        [
+            "N",
+            "t_lu",
+            "t_lu_solve",
+            "t_fact",
+            "t_solve",
+            "solve_speedup",
+            "t_dist_fact",
+            "sim_t_fact",
+            "err_lu",
+            "err_rss",
+            "err_dist",
+        ],
     )
     for n in bie_sizes():
         prob = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), n)
-        f = prob.boundary_data(harmonic_exponential)
+        f = prob.default_rhs()
 
-        t0 = time.perf_counter()
-        lu = scipy.linalg.lu_factor(prob.dense())
-        t_lu = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        tau_lu = scipy.linalg.lu_solve(lu, f)
-        t_lu_solve = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        fact = prob.factor(OPTS)
-        t_fact = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        tau = fact.solve(f)
-        t_solve = time.perf_counter() - t0
+        lu = solve(prob, f, SolveConfig(method="dense_lu"))
+        rss = solve(prob, f, SolveConfig(method="direct", srs=OPTS))
+        dist = solve(
+            prob,
+            f,
+            SolveConfig(method="direct", execution="auto", ranks=RANKS, srs=OPTS),
+        )
 
         table.add_row(
             n,
-            format_seconds(t_lu),
-            format_seconds(t_lu_solve),
-            format_seconds(t_fact),
-            format_seconds(t_solve),
-            f"{t_lu_solve / t_solve:.1f}x",
-            format_sci(solve_error(prob, tau_lu)),
-            format_sci(solve_error(prob, tau)),
+            format_seconds(lu.t_setup),
+            format_seconds(lu.t_solve),
+            format_seconds(rss.t_setup),
+            format_seconds(rss.t_solve),
+            f"{lu.t_solve / max(rss.t_solve, 1e-9):.1f}x",
+            format_seconds(dist.t_setup),
+            format_seconds(dist.sim_t_fact),
+            format_sci(solve_error(prob, lu.x)),
+            format_sci(solve_error(prob, rss.x)),
+            format_sci(solve_error(prob, dist.x)),
         )
     return table
 
@@ -80,15 +92,20 @@ def sweep():
 def test_bie_star_generated(sweep, benchmark):
     n = bie_sizes()[0]
     prob = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), n)
-    benchmark.pedantic(lambda: prob.factor(OPTS), rounds=1, iterations=1)
+    benchmark.pedantic(
+        lambda: solve(prob, prob.default_rhs(), SolveConfig(method="direct", srs=OPTS)),
+        rounds=1,
+        iterations=1,
+    )
     assert len(sweep.rows) == len(bie_sizes())
 
 
 def test_bie_star_rss_matches_lu_accuracy(sweep):
-    """The RS-S error column stays within a decade of dense LU."""
+    """The RS-S error columns stay within a decade of dense LU."""
     for row in sweep.rows:
-        err_lu, err_rss = float(row[-2]), float(row[-1])
+        err_lu, err_rss, err_dist = (float(v) for v in row[-3:])
         assert err_rss < max(10.0 * err_lu, 1e-8)
+        assert err_dist < max(10.0 * err_lu, 1e-8)
 
 
 if __name__ == "__main__":

@@ -1,59 +1,55 @@
-"""Boundary integral equations: interior Laplace Dirichlet on a star curve.
+"""Boundary integral equations through the unified ``repro.solve`` facade.
 
 Demonstrates the BIE subsystem end to end:
 
 1. discretize a smooth star curve with the periodic trapezoid rule,
 2. assemble the second-kind double-layer operator ``-1/2 I + D``
    implicitly as a KernelMatrix over the curve nodes,
-3. factorize it with RS-S over a bounding-box quadtree and solve for
-   the density directly,
+3. solve the interior Laplace Dirichlet problem directly
+   (``method="direct"``: RS-S over the bounding-box quadtree) and
+   against the dense reference (``method="dense_lu"``),
 4. evaluate the harmonic solution inside the domain and compare with
    the exact harmonic function supplying the boundary data,
 5. repeat with an exterior sound-soft Helmholtz scattering problem
-   solved by RS-S-preconditioned CFIE GMRES.
+   solved by RS-S-preconditioned CFIE GMRES (``method="pgmres"``).
 
 Run:  python examples/bie_dirichlet.py [n_nodes]
 """
 
 import sys
-import time
 
 import numpy as np
 
-from repro import SRSOptions, SoundSoftScattering, StarCurve, InteriorDirichletProblem
+import repro
 from repro.bie import harmonic_exponential
 
 
 def main(n: int = 2048) -> None:
-    curve = StarCurve(radius=1.0, amplitude=0.3, arms=5)
-    prob = InteriorDirichletProblem(curve, n)
+    curve = repro.StarCurve(radius=1.0, amplitude=0.3, arms=5)
+    prob = repro.InteriorDirichletProblem(curve, n)
     print(f"Interior Laplace Dirichlet on a 5-armed star, N = {n} Nystrom nodes")
     print(f"tree: {prob.tree}")
 
-    t0 = time.perf_counter()
-    fact = prob.factor(SRSOptions(tol=1e-10))
-    t_fact = time.perf_counter() - t0
-    print(f"factorization: {t_fact:.2f} s, memory {fact.memory_bytes() / 1e6:.1f} MB")
-
     f = prob.boundary_data(harmonic_exponential)
-    t0 = time.perf_counter()
-    tau = fact.solve(f)
-    t_solve = time.perf_counter() - t0
+    direct = repro.solve(prob, f, srs=repro.SRSOptions(tol=1e-10))
     targets = prob.interior_targets()
-    u = prob.evaluate(tau, targets)
+    u = prob.evaluate(direct.x, targets)
     err = np.max(np.abs(u - harmonic_exponential(targets)))
-    print(f"direct solve:  {t_solve * 1e3:.1f} ms, interior max error = {err:.2e}")
+    print(f"direct:   {direct.summary()}")
+    print(f"          interior max error = {err:.2e}")
+
+    if n <= 2048:
+        dense = repro.solve(prob, f, method="dense_lu")
+        print(f"dense LU: {dense.summary()}")
+        print(f"          density difference vs RS-S = {np.max(np.abs(direct.x - dense.x)):.2e}")
 
     print("\nExterior sound-soft Helmholtz (CFIE), kappa = 8")
-    scat = SoundSoftScattering(curve, n, kappa=8.0)
-    t0 = time.perf_counter()
-    sfact = scat.factor(SRSOptions(tol=1e-8))
-    print(f"factorization: {time.perf_counter() - t0:.2f} s")
-    print(f"point-source validation error: {scat.point_source_error(sfact):.2e}")
-
-    b = scat.rhs_plane_wave()
-    pre = scat.pgmres(sfact, b)
-    plain = scat.unpreconditioned_gmres(b)
+    scat = repro.SoundSoftScattering(curve, n, kappa=8.0)
+    solver = repro.Solver(scat, method="pgmres", tol=1e-10, srs=repro.SRSOptions(tol=1e-8))
+    pre = solver.solve(scat.rhs_plane_wave())
+    print(f"factorization: {solver.setup_time:.2f} s")
+    print(f"point-source validation error: {scat.point_source_error(solver.factorization):.2e}")
+    plain = scat.unpreconditioned_gmres(scat.rhs_plane_wave())
     print(f"preconditioned GMRES:   {pre.iterations} iterations")
     print(f"unpreconditioned GMRES: {plain.iterations} iterations")
 

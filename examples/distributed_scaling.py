@@ -1,59 +1,59 @@
 """Distributed factorization on simulated ranks (paper Sec. III).
 
-Runs the same Laplace problem over p = 1, 4, 16 simulated ranks and
-prints the paper's Table II quantities: simulated t_fact split into
-compute and communication/idle, the solve time, and the per-rank
-message/word counters that Sec. IV-B bounds as O(log N + log p) and
-O(sqrt(N/p) + log p).
+Runs the same Laplace problem over p = 1, 4, 16 simulated ranks
+through the unified facade and prints the paper's Table II quantities:
+simulated t_fact split into compute and communication/idle, the solve
+time, and the per-rank message/word counters that Sec. IV-B bounds as
+O(log N + log p) and O(sqrt(N/p) + log p).
 
-Run:  python examples/distributed_scaling.py [grid_side] [backend]
+Run:  python examples/distributed_scaling.py [grid_side] [execution]
 
-``backend`` is ``thread`` (default: deterministic, GIL-serialized
-compute) or ``process`` (one OS process per rank, shared-memory ndarray
-transport — wall-clock scales with cores; simulated times and counters
-are identical either way).
+``execution`` is ``thread`` (deterministic, GIL-serialized compute),
+``process`` (one OS process per rank, shared-memory ndarray transport
+— wall-clock scales with cores), or ``auto`` (default: pick by core
+count; simulated times and counters are identical either way).
 """
 
 import sys
 
-from repro import LaplaceVolumeProblem, SRSOptions, parallel_srs_factor
+import repro
 from repro.parallel.ownership import max_ranks_for_tree
 from repro.tree import QuadTree
 
 
-def main(m: int = 96, backend: str | None = None) -> None:
-    prob = LaplaceVolumeProblem(m)
-    opts = SRSOptions(tol=1e-6, leaf_size=64)
+def main(m: int = 96, execution: str = "auto") -> None:
+    prob = repro.LaplaceVolumeProblem(m)
+    opts = repro.SRSOptions(tol=1e-6, leaf_size=64)
     nlevels = QuadTree.for_leaf_size(prob.points, 64).nlevels
     pmax = max_ranks_for_tree(nlevels)
     b = prob.random_rhs()
 
     print(f"N = {prob.n}, tree levels = {nlevels}, max ranks = {pmax}, "
-          f"backend = {backend or 'default'}")
+          f"execution = {execution}")
     print(f"{'p':>4} {'t_fact':>9} {'t_comp':>9} {'t_other':>9} {'t_solve':>9} "
           f"{'msgs/rank':>10} {'MB/rank':>8} {'relres':>10}")
     base = None
     for p in (1, 4, 16, 64):
         if p > pmax:
             break
-        fact = parallel_srs_factor(prob.kernel, p, opts=opts, backend=backend)
-        x = fact.solve(b)
-        relres = prob.relres(x, b)
-        msgs = fact.factor_run.max_messages_per_rank()
-        mb = fact.factor_run.max_bytes_per_rank() / 1e6
+        report = repro.solve(
+            prob, b, repro.SolveConfig(execution=execution, ranks=p, srs=opts)
+        )
+        run = report.factorization.factor_run
         print(
-            f"{p:>4} {fact.t_fact:>9.3f} {fact.t_fact_comp:>9.3f} "
-            f"{fact.t_fact_other:>9.3f} {fact.t_solve:>9.4f} "
-            f"{msgs:>10d} {mb:>8.2f} {relres:>10.2e}"
+            f"{p:>4} {report.sim_t_fact:>9.3f} {report.sim_t_comp:>9.3f} "
+            f"{report.sim_t_other:>9.3f} {report.sim_t_solve:>9.4f} "
+            f"{run.max_messages_per_rank():>10d} "
+            f"{run.max_bytes_per_rank() / 1e6:>8.2f} {report.relres:>10.2e}"
         )
         if base is None:
-            base = fact.t_fact
+            base = report.sim_t_fact
         else:
-            print(f"     speedup vs p=1: {base / fact.t_fact:.2f}x")
+            print(f"     speedup vs p=1: {base / report.sim_t_fact:.2f}x")
 
 
 if __name__ == "__main__":
     main(
         int(sys.argv[1]) if len(sys.argv) > 1 else 96,
-        sys.argv[2] if len(sys.argv) > 2 else None,
+        sys.argv[2] if len(sys.argv) > 2 else "auto",
     )

@@ -11,7 +11,8 @@ import sys
 
 import numpy as np
 
-from repro import ScatteringProblem, SRSOptions
+import repro
+from repro import ScatteringProblem
 from repro.reporting import write_pgm
 
 
@@ -32,9 +33,9 @@ def main(m: int = 96, kappa: float = 25.0) -> None:
         f"Lippmann-Schwinger: N = {prob.n}, kappa = {kappa} "
         f"({prob.kernel.points_per_wavelength():.1f} points/wavelength)"
     )
-    fact = prob.factor(SRSOptions(tol=1e-6, leaf_size=64))
-    res = prob.pgmres(fact, prob.rhs())
-    print(f"PGMRES: {res.iterations} iterations, final residual {res.final_residual:.1e}")
+    # default rhs is the plane-wave data; pgmres refines on the cached RS-S factorization
+    res = repro.solve(prob, method="pgmres", srs=repro.SRSOptions(tol=1e-6, leaf_size=64))
+    print(f"PGMRES: {res.iterations} iterations, final residual {res.relres:.1e}")
 
     mag = prob.field_magnitude_grid(res.x)
     write_pgm("scattering_potential.pgm", prob.potential_grid())

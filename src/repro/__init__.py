@@ -6,26 +6,33 @@ A from-scratch Python reproduction of Liang, Chen, Martinsson & Biros
 factorization (RS-S) of dense kernel matrices from 2D integral
 equations, parallelized over a simulated distributed-memory runtime.
 
-Quickstart::
+Quickstart (the unified facade)::
 
-    import numpy as np
-    from repro import LaplaceVolumeProblem, SRSOptions, srs_factor
+    import repro
 
-    prob = LaplaceVolumeProblem(m=64)          # N = 64^2 collocation points
-    fact = prob.factor(SRSOptions(tol=1e-6))    # O(N) factorization
-    b = prob.random_rhs()
-    x = fact.solve(b)                           # O(N) direct solve
-    print(prob.relres(x, b))                    # ~1e-3 (first-kind IE)
-    print(prob.pcg(fact, b).iterations)         # ~5 PCG its to 1e-12
+    prob = repro.LaplaceVolumeProblem(m=64)     # N = 64^2 collocation points
+    report = repro.solve(prob, prob.random_rhs())   # O(N) direct solve
+    print(report.summary())                     # relres ~1e-3 (first-kind IE)
 
-Distributed (simulated ranks)::
+    # same pipeline, different strategy: PCG refinement to 1e-12
+    report = repro.solve(prob, prob.random_rhs(), method="pcg", tol=1e-12)
+    print(report.iterations)                    # ~5 iterations
 
-    from repro import parallel_srs_factor
-    pfact = parallel_srs_factor(prob.kernel, p=16)
-    x = pfact.solve(b)
-    print(pfact.t_fact, pfact.t_fact_comp, pfact.t_fact_other)
+    # distributed over 16 simulated ranks (thread/process/auto backends)
+    report = repro.solve(prob, prob.random_rhs(), execution="auto", ranks=16)
+    print(report.sim_t_fact, report.messages)
+
+    # amortize one factorization over many right-hand sides
+    solver = repro.Solver(prob, method="pcg")
+    for seed in range(8):
+        print(solver.solve(prob.random_rhs(seed)).iterations)
+
+The underlying engines remain importable (``srs_factor``,
+``parallel_srs_factor``, the iterative solvers) for code that wants
+them directly.
 """
 
+from repro.api import Problem, SolveConfig, SolveReport, Solver, solve
 from repro.core import SRSFactorization, SRSOptions, srs_factor
 from repro.parallel import (
     ParallelFactorization,
@@ -56,6 +63,11 @@ from repro.tree import AdaptiveQuadTree, QuadTree
 __version__ = "1.0.0"
 
 __all__ = [
+    "solve",
+    "Solver",
+    "SolveConfig",
+    "SolveReport",
+    "Problem",
     "SRSFactorization",
     "SRSOptions",
     "srs_factor",

@@ -1,0 +1,57 @@
+"""Unified solve pipeline: ``repro.solve(problem, b, config)``.
+
+One composable entry point over every solver the repo implements::
+
+    import repro
+    from repro.api import SolveConfig
+
+    prob = repro.LaplaceVolumeProblem(m=64)
+    report = repro.solve(prob, prob.random_rhs(), method="pcg", tol=1e-12)
+    print(report.summary())
+
+Pieces:
+
+* :class:`~repro.api.problem.Problem` — the protocol workloads
+  implement (kernel, fast operator, rhs helpers, geometry hints).
+* :class:`~repro.api.config.SolveConfig` — method + execution +
+  refinement knobs composed with :class:`~repro.core.options.SRSOptions`.
+* the strategy registry (:mod:`repro.api.strategies`) — method names
+  mapped to :class:`~repro.api.strategies.SolverStrategy` classes, each
+  producing a common :class:`~repro.api.strategies.Factorization`.
+* :class:`~repro.api.report.SolveReport` — the uniform outcome record.
+* :func:`~repro.api.facade.solve` / :class:`~repro.api.facade.Solver`
+  — one-shot and factorization-caching front doors.
+"""
+
+from repro.api.config import EXECUTIONS, OPERATORS, SolveConfig
+from repro.api.facade import Solver, solve
+from repro.api.problem import Problem, ProblemBase, check_problem
+from repro.api.report import SolveReport
+from repro.api.strategies import (
+    DenseLUFactorization,
+    Factorization,
+    SolverStrategy,
+    StrategyResult,
+    available_methods,
+    register_strategy,
+    resolve_strategy,
+)
+
+__all__ = [
+    "SolveConfig",
+    "SolveReport",
+    "Solver",
+    "solve",
+    "Problem",
+    "ProblemBase",
+    "check_problem",
+    "Factorization",
+    "SolverStrategy",
+    "StrategyResult",
+    "DenseLUFactorization",
+    "available_methods",
+    "register_strategy",
+    "resolve_strategy",
+    "EXECUTIONS",
+    "OPERATORS",
+]

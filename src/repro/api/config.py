@@ -1,0 +1,103 @@
+"""Configuration of one ``repro.solve`` pipeline run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.options import SRSOptions
+
+#: execution modes understood by every parallel-capable strategy
+EXECUTIONS = ("sequential", "thread", "process", "auto")
+
+#: forward operators available to the iterative strategies
+OPERATORS = ("auto", "dense", "treecode")
+
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """Everything that selects *how* a problem is solved.
+
+    One config composes the factorization parameters
+    (:class:`~repro.core.options.SRSOptions`) with the solve method,
+    the execution engine, and the iterative-refinement controls, so the
+    same problem runs as a direct solve, a preconditioned Krylov
+    refinement, a distributed solve, or a dense/baseline reference by
+    changing fields instead of call paths.
+
+    Attributes
+    ----------
+    method:
+        Registered strategy name. Built-ins:
+
+        * ``"direct"`` — one application of the RS-S compressed inverse
+          (the paper's O(N) direct solve).
+        * ``"pcg"`` — CG to ``tol``, RS-S-preconditioned (symmetric
+          problems; Tables II/III).
+        * ``"pgmres"`` — restarted GMRES to ``tol``, RS-S right
+          preconditioner (Tables IV/V and the BIE workloads).
+        * ``"dense_lu"`` — pivoted LU of the assembled dense matrix
+          (small problems / reference).
+        * ``"block_jacobi"`` — leaf-block-diagonal preconditioner +
+          Krylov (the ablation baseline).
+
+        Unknown names raise a :class:`ValueError` listing the registry.
+    execution:
+        ``"sequential"`` runs the factorization in-process;
+        ``"thread"``/``"process"`` run it on ``ranks`` simulated MPI
+        ranks over the matching vmpi backend; ``"auto"`` picks thread
+        vs process by ``os.cpu_count()`` (single core: threads; more:
+        processes), mirroring ``REPRO_VMPI_BACKEND=auto``.
+    ranks:
+        Simulated rank count for parallel execution (a power-of-two
+        squared: 1, 4, 16, ...). ``None`` defaults to 4.
+    tol:
+        Relative-residual target of the iterative refinement (the
+        paper refines to ``1e-12``). Ignored by ``direct``/``dense_lu``.
+    maxiter:
+        Iteration cap for the Krylov methods.
+    restart:
+        GMRES restart length (the paper uses 50 when preconditioned).
+    operator:
+        Forward matvec used by the iterative strategies: ``"auto"``
+        takes the problem's own fast operator (FFT on grids, dense on
+        curves), ``"treecode"`` builds the O(N log N) kernel-independent
+        treecode, ``"dense"`` the chunked dense reference.
+    srs:
+        Factorization options (ID tolerance, leaf size, proxy
+        parameters) passed to the RS-S engines, and the leaf size used
+        by ``block_jacobi``.
+    """
+
+    method: str = "direct"
+    execution: str = "sequential"
+    ranks: int | None = None
+    tol: float = 1e-12
+    maxiter: int = 500
+    restart: int = 50
+    operator: str = "auto"
+    srs: SRSOptions = field(default_factory=SRSOptions)
+
+    def __post_init__(self) -> None:
+        # deferred import: the registry lives in strategies.py, which
+        # imports this module for the config type
+        from repro.api import strategies
+
+        strategies.validate_method(self.method)
+        if self.execution not in EXECUTIONS:
+            raise ValueError(
+                f"unknown execution {self.execution!r}; "
+                f"expected one of {', '.join(EXECUTIONS)}"
+            )
+        if self.operator not in OPERATORS:
+            raise ValueError(
+                f"unknown operator {self.operator!r}; "
+                f"expected one of {', '.join(OPERATORS)}"
+            )
+        if self.tol <= 0:
+            raise ValueError(f"tol must be positive, got {self.tol}")
+        if self.maxiter <= 0:
+            raise ValueError(f"maxiter must be positive, got {self.maxiter}")
+        if self.restart <= 0:
+            raise ValueError(f"restart must be positive, got {self.restart}")
+        if self.ranks is not None and self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")

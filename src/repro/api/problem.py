@@ -1,0 +1,130 @@
+"""The :class:`Problem` protocol — what a workload exposes to ``repro.solve``.
+
+Every solver strategy (direct RS-S, preconditioned Krylov, dense LU,
+block-Jacobi) consumes problems through the same narrow surface: a
+kernel matrix, a fast forward operator, rhs helpers, and the geometry
+hints (tree/domain) the factorization engines need. The built-in
+workloads — :class:`~repro.apps.laplace_volume.LaplaceVolumeProblem`,
+:class:`~repro.apps.scattering.ScatteringProblem`,
+:class:`~repro.bie.solves.InteriorDirichletProblem`, and
+:class:`~repro.bie.solves.SoundSoftScattering` — all implement it, and
+any user class that does too plugs straight into
+:func:`repro.api.facade.solve`.
+
+:class:`ProblemBase` is an optional mixin supplying sensible defaults
+(bounding-box parallel domain, the problem's ``matvec`` as operator,
+random right-hand sides) so new problems only define what is special
+about them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Problem(Protocol):
+    """Structural interface required by :func:`repro.api.facade.solve`."""
+
+    #: implicit dense system matrix over the collocation/Nystrom points
+    kernel: Any
+
+    @property
+    def n(self) -> int:
+        """Number of unknowns."""
+        ...
+
+    #: True when the operator is symmetric (positive definite), enabling CG
+    is_symmetric: bool
+
+    @property
+    def factor_tree(self):
+        """Quadtree for the factorization, or ``None`` to derive one."""
+        ...
+
+    @property
+    def parallel_domain(self):
+        """Root square for the distributed tree, or ``None`` for the default."""
+        ...
+
+    def operator(self) -> Callable[[np.ndarray], np.ndarray]:
+        """The fast forward matvec ``x -> A x`` used by iterative methods."""
+        ...
+
+    def default_rhs(self) -> np.ndarray:
+        """The problem's canonical right-hand side."""
+        ...
+
+    def random_rhs(self, seed: int = 0, nrhs: int = 1) -> np.ndarray:
+        """Reproducible random right-hand side(s)."""
+        ...
+
+    def relres(self, x: np.ndarray, b: np.ndarray) -> float:
+        """True relative residual ``||A x - b|| / ||b||``."""
+        ...
+
+
+#: attribute names checked by :func:`check_problem`
+_REQUIRED = (
+    "kernel",
+    "n",
+    "is_symmetric",
+    "factor_tree",
+    "parallel_domain",
+    "operator",
+    "default_rhs",
+    "random_rhs",
+    "relres",
+)
+
+
+def check_problem(problem: Any) -> None:
+    """Raise a :class:`TypeError` naming every missing protocol member."""
+    missing = [name for name in _REQUIRED if not hasattr(problem, name)]
+    if missing:
+        raise TypeError(
+            f"{type(problem).__name__} does not implement the repro.api.Problem "
+            f"protocol: missing {', '.join(missing)} "
+            "(subclass repro.api.ProblemBase for the defaults)"
+        )
+
+
+class ProblemBase:
+    """Mixin with protocol defaults; subclasses set what differs.
+
+    Defaults: non-symmetric operator, factorization tree taken from a
+    ``tree`` attribute when present (else derived from the options),
+    unit-square parallel domain, the problem's ``matvec`` attribute as
+    the forward operator, and uniform random right-hand sides (complex
+    when the kernel is).
+    """
+
+    is_symmetric = False
+
+    @property
+    def factor_tree(self):
+        return getattr(self, "tree", None)
+
+    @property
+    def parallel_domain(self):
+        return None
+
+    def operator(self) -> Callable[[np.ndarray], np.ndarray]:
+        return self.matvec
+
+    def default_rhs(self) -> np.ndarray:
+        return self.random_rhs()
+
+    def random_rhs(self, seed: int = 0, nrhs: int = 1) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        shape = (self.n,) if nrhs == 1 else (self.n, nrhs)
+        out = rng.random(shape)
+        if np.issubdtype(np.dtype(self.kernel.dtype), np.complexfloating):
+            out = out + 1j * rng.random(shape)
+        return out
+
+    def relres(self, x: np.ndarray, b: np.ndarray) -> float:
+        r = self.operator()(x) - b
+        return float(np.linalg.norm(r) / np.linalg.norm(b))

@@ -1,0 +1,116 @@
+"""The uniform outcome record of every ``repro.solve`` call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class SolveReport:
+    """What happened during one solve, identically shaped for all methods.
+
+    Attributes
+    ----------
+    x:
+        The computed solution, ``(N,)`` or ``(N, nrhs)``.
+    method / execution:
+        The strategy that ran and the *resolved* execution mode
+        (``"auto"`` is reported as the thread/process choice it made).
+    relres:
+        True relative residual ``||A x - b|| / ||b||`` measured with the
+        problem's forward operator — computed lazily on first access
+        (one operator apply), so callers that never read it (the legacy
+        shims, iteration-count sweeps) pay nothing.
+    iterations:
+        Krylov iteration count (0 for the direct methods).
+    converged:
+        Whether the iterative refinement met its tolerance (always
+        ``True`` for direct methods).
+    t_setup / t_solve:
+        Wall-clock seconds building the factorization/preconditioner
+        and applying it. ``t_setup`` is 0 when a cached factorization
+        was supplied (the :class:`~repro.api.facade.Solver` path).
+    memory_bytes:
+        Bytes held by the factorization/preconditioner.
+    sim_t_fact / sim_t_solve:
+        Simulated parallel clock of the distributed engines (the
+        paper's ``t_fact``/``t_solve``); ``None`` for sequential runs.
+    sim_t_comp / sim_t_other:
+        The critical-path split of ``sim_t_fact`` into compute vs
+        communication/idle (Table II's ``t_comp``/``t_other``).
+    messages / comm_bytes:
+        Total messages and payload bytes sent during the distributed
+        factorization; ``None`` for sequential runs.
+    factorization:
+        The setup product that produced ``x`` (an object satisfying the
+        :class:`~repro.api.strategies.Factorization` protocol), for
+        callers that want rank statistics, per-rank counters, or to
+        reuse it via ``solve(..., factorization=...)``.
+    problem / rhs:
+        What was solved — kept so :attr:`relres` can be evaluated
+        lazily.
+    krylov:
+        The raw :class:`~repro.iterative.cg.CGResult` /
+        :class:`~repro.iterative.gmres.GMRESResult` when an iterative
+        method ran (residual history lives here), else ``None``.
+    config:
+        The :class:`~repro.api.config.SolveConfig` that produced this.
+    """
+
+    x: np.ndarray
+    method: str
+    execution: str
+    iterations: int
+    converged: bool
+    t_setup: float
+    t_solve: float
+    memory_bytes: int | None = None
+    sim_t_fact: float | None = None
+    sim_t_solve: float | None = None
+    sim_t_comp: float | None = None
+    sim_t_other: float | None = None
+    messages: int | None = None
+    comm_bytes: int | None = None
+    krylov: Any | None = field(default=None, repr=False)
+    config: Any | None = field(default=None, repr=False)
+    factorization: Any | None = field(default=None, repr=False)
+    problem: Any | None = field(default=None, repr=False)
+    rhs: np.ndarray | None = field(default=None, repr=False)
+    _relres: float | None = field(default=None, repr=False)
+
+    @property
+    def relres(self) -> float:
+        """True relative residual, computed (and cached) on demand."""
+        if self._relres is None:
+            if self.problem is None or self.rhs is None:
+                raise ValueError("relres unavailable: report has no problem/rhs")
+            self._relres = float(self.problem.relres(self.x, self.rhs))
+        return self._relres
+
+    @property
+    def residual_history(self) -> list[float]:
+        """Per-iteration relative residuals (``[relres]`` for direct)."""
+        if self.krylov is not None:
+            return self.krylov.residual_history
+        return [self.relres]
+
+    def summary(self) -> str:
+        """One informative line, for examples and benchmark logs."""
+        its = f", {self.iterations} its" if self.iterations else ""
+        mem = (
+            f", {self.memory_bytes / 1e6:.1f} MB"
+            if self.memory_bytes is not None
+            else ""
+        )
+        sim = (
+            f", sim t_fact {self.sim_t_fact:.3f}s"
+            if self.sim_t_fact is not None
+            else ""
+        )
+        return (
+            f"{self.method}/{self.execution}: relres {self.relres:.2e}{its}, "
+            f"setup {self.t_setup:.2f}s + solve {self.t_solve * 1e3:.1f}ms{mem}{sim}"
+        )

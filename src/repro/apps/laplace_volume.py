@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.problem import ProblemBase
 from repro.core.factorization import SRSFactorization, srs_factor
 from repro.core.options import SRSOptions
 from repro.geometry.points import uniform_grid
@@ -20,10 +21,16 @@ from repro.matvec.toeplitz import FFTMatVec
 
 
 @dataclass
-class LaplaceVolumeProblem:
-    """The paper's Laplace benchmark problem on an ``m x m`` grid."""
+class LaplaceVolumeProblem(ProblemBase):
+    """The paper's Laplace benchmark problem on an ``m x m`` grid.
+
+    Implements the :class:`repro.api.Problem` protocol, so it runs
+    through ``repro.solve``/``repro.Solver`` with any method; the
+    operator is symmetric, so CG applies.
+    """
 
     m: int
+    is_symmetric = True
 
     def __post_init__(self) -> None:
         if self.m < 4:
@@ -37,11 +44,7 @@ class LaplaceVolumeProblem:
     def n(self) -> int:
         return self.m * self.m
 
-    def random_rhs(self, seed: int = 0, nrhs: int = 1) -> np.ndarray:
-        """Standard-uniform random right-hand side(s), as in Table I."""
-        rng = np.random.default_rng(seed)
-        shape = (self.n,) if nrhs == 1 else (self.n, nrhs)
-        return rng.random(shape)
+    # random_rhs (standard-uniform, Table I) comes from ProblemBase
 
     def factor(self, opts: SRSOptions | None = None) -> SRSFactorization:
         return srs_factor(self.kernel, opts=opts or SRSOptions())
@@ -57,8 +60,15 @@ class LaplaceVolumeProblem:
         tol: float = 1e-12,
         maxiter: int = 500,
     ) -> CGResult:
-        """Preconditioned CG with the factorization, to the paper's 1e-12."""
-        return cg(self.matvec, b, preconditioner=fact.solve, tol=tol, maxiter=maxiter)
+        """Preconditioned CG with the factorization, to the paper's 1e-12.
+
+        Thin shim over ``repro.solve(self, b, method="pcg")`` reusing
+        ``fact`` as the cached factorization.
+        """
+        from repro.api import SolveConfig, solve
+
+        cfg = SolveConfig(method="pcg", tol=tol, maxiter=maxiter)
+        return solve(self, b, cfg, factorization=fact).krylov
 
     def unpreconditioned_cg(self, b: np.ndarray, *, tol: float = 1e-12, maxiter: int = 100_000) -> CGResult:
         """Plain CG baseline (the paper reports ~5 sqrt(N) iterations)."""

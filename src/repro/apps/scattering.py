@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.api.problem import ProblemBase
 from repro.core.factorization import SRSFactorization, srs_factor
 from repro.core.options import SRSOptions
 from repro.geometry.points import uniform_grid
@@ -28,8 +29,13 @@ from repro.matvec.toeplitz import FFTMatVec
 
 
 @dataclass
-class ScatteringProblem:
-    """The paper's Helmholtz benchmark: Gaussian-bump scattering potential."""
+class ScatteringProblem(ProblemBase):
+    """The paper's Helmholtz benchmark: Gaussian-bump scattering potential.
+
+    Implements the :class:`repro.api.Problem` protocol (complex,
+    non-symmetric: GMRES-family methods); the canonical rhs is the
+    symmetrized plane-wave data of Eq. 18.
+    """
 
     m: int
     kappa: float
@@ -63,10 +69,10 @@ class ScatteringProblem:
         uin = plane_wave(self.points, self.kappa, self.direction)
         return -(self.kappa**2) * np.sqrt(self.b) * uin
 
-    def random_rhs(self, seed: int = 0, nrhs: int = 1) -> np.ndarray:
-        rng = np.random.default_rng(seed)
-        shape = (self.n,) if nrhs == 1 else (self.n, nrhs)
-        return rng.random(shape) + 1j * rng.random(shape)
+    default_rhs = rhs
+
+    # random_rhs (complex uniform, matching the kernel dtype) comes
+    # from ProblemBase
 
     def factor(self, opts: SRSOptions | None = None) -> SRSFactorization:
         return srs_factor(self.kernel, opts=opts or SRSOptions())
@@ -75,10 +81,15 @@ class ScatteringProblem:
         return self.matvec.residual_norm(x, b)
 
     def pgmres(self, fact, b: np.ndarray, *, tol: float = 1e-12, maxiter: int = 500) -> GMRESResult:
-        """Preconditioned GMRES to 1e-12 (Tables IV/V ``nit``)."""
-        return gmres(
-            self.matvec, b, preconditioner=fact.solve, tol=tol, restart=50, maxiter=maxiter
-        )
+        """Preconditioned GMRES to 1e-12 (Tables IV/V ``nit``).
+
+        Thin shim over ``repro.solve(self, b, method="pgmres")`` reusing
+        ``fact`` as the cached factorization.
+        """
+        from repro.api import SolveConfig, solve
+
+        cfg = SolveConfig(method="pgmres", tol=tol, restart=50, maxiter=maxiter)
+        return solve(self, b, cfg, factorization=fact).krylov
 
     def unpreconditioned_gmres(
         self, b: np.ndarray, *, tol: float = 1e-12, restart: int = 20, maxiter: int = 10_000

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.problem import ProblemBase
 from repro.bie.curves import Curve
 from repro.bie.layers import HelmholtzCFIE, LaplaceDLP
 from repro.core.factorization import SRSFactorization, srs_factor
 from repro.core.options import SRSOptions
+from repro.geometry.domain import Square
 from repro.iterative.gmres import GMRESResult, gmres
 from repro.kernels.base import dense_matrix
 from repro.kernels.helmholtz import helmholtz_greens, plane_wave
@@ -54,8 +56,13 @@ def point_source_field(targets: np.ndarray, source, kappa: float) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
-class _BoundaryProblem:
-    """Shared plumbing: discretization, tree, factorization, matvecs."""
+class _BoundaryProblem(ProblemBase):
+    """Shared plumbing: discretization, tree, factorization, matvecs.
+
+    Implements the :class:`repro.api.Problem` protocol: the
+    factorization tree is the curve's bounding-box quadtree and the
+    distributed engines root their trees on the same bounding square.
+    """
 
     def __init__(self, curve: Curve, n: int, *, leaf_size: int = 64):
         self.curve = curve
@@ -75,20 +82,25 @@ class _BoundaryProblem:
         opts = opts or SRSOptions(tol=1e-10)
         return srs_factor(self.kernel, tree=self.tree, opts=opts)
 
+    @property
+    def parallel_domain(self) -> Square:
+        return Square.bounding(self.bd.points)
+
     def dense(self) -> np.ndarray:
         """Full Nystrom matrix (small problems / reference only)."""
         return dense_matrix(self.kernel)
 
     def solve_dense(self, rhs: np.ndarray) -> np.ndarray:
-        return np.linalg.solve(self.dense(), rhs)
+        """Dense-LU reference solve (shim over ``method="dense_lu"``)."""
+        from repro.api import SolveConfig, solve
+
+        return solve(self, rhs, SolveConfig(method="dense_lu")).x
 
     def treecode(self, **kwargs) -> TreecodeMatVec:
         """O(N log N) matvec sharing the factorization's tree."""
         return TreecodeMatVec(self.kernel, tree=self.tree, **kwargs)
 
-    def relres(self, x: np.ndarray, b: np.ndarray) -> float:
-        r = self.matvec(x) - b
-        return float(np.linalg.norm(r) / np.linalg.norm(b))
+    # relres (dense-matvec residual norm) comes from ProblemBase
 
     def _shifted_targets(self, factor: float, k: int) -> np.ndarray:
         """Curve scaled about its centroid — inside (<1) or outside (>1)."""
@@ -114,6 +126,10 @@ class InteriorDirichletProblem(_BoundaryProblem):
     def boundary_data(self, u_exact) -> np.ndarray:
         """Dirichlet data ``f = u_exact`` sampled on the nodes."""
         return np.asarray(u_exact(self.bd.points), dtype=float)
+
+    def default_rhs(self) -> np.ndarray:
+        """Canonical validation rhs: the entire harmonic ``e^x cos y``."""
+        return self.boundary_data(harmonic_exponential)
 
     def evaluate(self, tau: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """The solution ``u = D tau`` at interior targets."""
@@ -193,6 +209,10 @@ class SoundSoftScattering(_BoundaryProblem):
         src = self.curve.interior_point() if source is None else source
         return point_source_field(self.bd.points, src, self.kappa)
 
+    def default_rhs(self) -> np.ndarray:
+        """Canonical rhs: sound-soft data of the unit-direction plane wave."""
+        return self.rhs_plane_wave()
+
     # -- solves ---------------------------------------------------------
     def pgmres(
         self,
@@ -203,11 +223,16 @@ class SoundSoftScattering(_BoundaryProblem):
         maxiter: int = 300,
         matvec=None,
     ) -> GMRESResult:
-        """GMRES with the RS-S factorization as right preconditioner."""
-        return gmres(
-            matvec or self.matvec, b, preconditioner=fact.solve,
-            tol=tol, restart=50, maxiter=maxiter,
-        )
+        """GMRES with the RS-S factorization as right preconditioner.
+
+        Thin shim over ``repro.solve(self, b, method="pgmres")`` reusing
+        ``fact``; ``matvec`` overrides the forward operator (e.g. a
+        treecode).
+        """
+        from repro.api import SolveConfig, solve
+
+        cfg = SolveConfig(method="pgmres", tol=tol, restart=50, maxiter=maxiter)
+        return solve(self, b, cfg, factorization=fact, operator=matvec).krylov
 
     def unpreconditioned_gmres(
         self, b: np.ndarray, *, tol: float = 1e-10, maxiter: int = 2000, matvec=None

@@ -1,10 +1,15 @@
-"""User-facing driver for the distributed factorization.
+"""Driver for the distributed factorization engine.
 
 ``parallel_srs_factor(kernel, p)`` launches the SPMD factorization on
 ``p`` simulated ranks and returns a :class:`ParallelFactorization`;
 its ``solve`` runs the distributed sweeps and reports simulated timing
 (``t_fact``/``t_solve`` split into ``t_comp``/``t_other``) and
 communication counters, mirroring the paper's Tables II/IV/VII.
+
+This is the engine behind ``repro.solve(problem, b,
+SolveConfig(execution="thread"|"process"|"auto", ranks=p))`` — the
+facade (:mod:`repro.api`) is the preferred entry point for workloads;
+call this directly when driving a bare kernel matrix.
 """
 
 from __future__ import annotations

@@ -41,7 +41,7 @@ def bench_scale() -> int:
 
 
 #: execution backends understood by ``repro.vmpi`` (see vmpi.backend)
-VMPI_BACKENDS = ("thread", "process")
+VMPI_BACKENDS = ("thread", "process", "auto")
 
 
 def vmpi_backend() -> str:
@@ -53,6 +53,9 @@ def vmpi_backend() -> str:
     * ``process`` — one OS process per rank with shared-memory ndarray
       transport: wall-clock scales with cores. Right for real-time
       benchmarks and large workloads.
+    * ``auto`` — pick by ``os.cpu_count()``: threads on a single core
+      (where processes are pure overhead), processes when real cores
+      are available (and the platform supports shared memory).
     """
     raw = os.environ.get("REPRO_VMPI_BACKEND")
     if raw is None or raw.strip() == "":

@@ -169,18 +169,39 @@ class ThreadBackend(ExecutionBackend):
         return SPMDRun(results, [report_from_comm(c) for c in comms])
 
 
+def auto_backend_name() -> str:
+    """The backend ``auto`` resolves to: thread vs process by core count.
+
+    On a single core the process backend is pure overhead (fork +
+    pickle with no parallel compute to win back), so ``auto`` keeps the
+    deterministic thread backend there and switches to processes as
+    soon as more cores are available and shared memory works.
+    """
+    import os
+
+    if (os.cpu_count() or 1) > 1:
+        from repro.vmpi.process_backend import process_backend_available
+
+        if process_backend_available():
+            return "process"
+    return "thread"
+
+
 def resolve_backend(spec: str | ExecutionBackend | None = None) -> ExecutionBackend:
     """Turn a backend spec into a backend instance.
 
     ``None`` falls back to the configured default (the
     ``REPRO_VMPI_BACKEND`` environment variable, ``thread`` if unset).
-    Strings name a built-in backend; instances pass through unchanged.
+    Strings name a built-in backend (``auto`` picks thread vs process
+    by core count); instances pass through unchanged.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
     # normalize explicit strings the same way the env path does
     # (empty/blank falls back to the configured default, like an unset var)
     name = (spec.strip().lower() or vmpi_backend()) if isinstance(spec, str) else vmpi_backend()
+    if name == "auto":
+        name = auto_backend_name()
     if name == "thread":
         return ThreadBackend()
     if name == "process":
@@ -193,4 +214,6 @@ def resolve_backend(spec: str | ExecutionBackend | None = None) -> ExecutionBack
                 "use REPRO_VMPI_BACKEND=thread"
             )
         return ProcessBackend()
-    raise ValueError(f"unknown execution backend {name!r} (expected 'thread' or 'process')")
+    raise ValueError(
+        f"unknown execution backend {name!r} (expected 'thread', 'process', or 'auto')"
+    )

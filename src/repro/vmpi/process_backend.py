@@ -15,6 +15,15 @@ handle closes), and ties the handle's lifetime to the zero-copy ndarray
 view with a ``weakref.finalize`` — resident shared memory tracks the
 receiver's working set, not total traffic. Mailboxes are drained on
 shutdown so blocks of never-received messages are still unlinked.
+
+As a backstop for *abnormal* teardown — a terminated rank whose
+queue-feeder thread still buffered messages nobody will ever attach —
+every sender also registers the names of the blocks it creates on a
+feeder-less ``SimpleQueue`` (a synchronous pipe write, so the names
+survive the sender's death); the parent drains it while collecting
+results and unlinks whatever still exists once all ranks are gone.
+Without this, on Python 3.13+ (where blocks are created untracked)
+such orphans persist in /dev/shm until reboot.
 """
 
 from __future__ import annotations
@@ -111,11 +120,13 @@ def encode_payload(obj: Any, min_bytes: int, created: list | None = None) -> Any
             return obj
         arr = np.ascontiguousarray(obj)
         shm = _create_shm(arr.nbytes)
-        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
         ref = ShmRef(shm.name, arr.shape, arr.dtype.str)
-        shm.close()
+        # record the name before the (possibly large) copy: a crash or
+        # terminate() mid-copy must still leave the block reclaimable
         if created is not None:
             created.append(ref)
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        shm.close()
         return ref
     if isinstance(obj, tuple):
         return tuple(encode_payload(x, min_bytes, created) for x in obj)
@@ -185,9 +196,53 @@ def _drain_mailbox(q) -> None:
             _release_refs(msg.payload)
 
 
+def _drain_registry(registry, names: set) -> None:
+    """Move sender-registered block names out of the registry pipe."""
+    try:
+        while not registry.empty():
+            names.add(registry.get())
+    except (OSError, ValueError, EOFError):  # pragma: no cover - closing
+        pass
+
+
+def _unlink_registered(names: set) -> None:
+    """Unlink every registered block that still has a name.
+
+    Blocks that were delivered normally are already unlinked by their
+    receiver (or by :func:`_drain_mailbox`), so attaching raises
+    ``FileNotFoundError`` and they are skipped; anything left is an
+    orphan of an abnormal teardown.
+    """
+    for name in names:
+        try:
+            shm = _attach_shm(name)
+        except FileNotFoundError:
+            continue
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - receiver race
+            pass
+        shm.close()
+
+
 # ----------------------------------------------------------------------
 # transport + backend
 # ----------------------------------------------------------------------
+class _RegisteredRefs(list):
+    """Collects :class:`ShmRef` s, mirroring each name into the registry
+    pipe the moment the block is created — before its payload copy — so
+    a rank killed mid-send leaves no unregistered orphan."""
+
+    def __init__(self, registry):
+        super().__init__()
+        self._registry = registry
+
+    def append(self, ref) -> None:
+        if self._registry is not None:
+            self._registry.put(ref.name)
+        super().append(ref)
+
+
 class ProcessTransport:
     """Per-rank ``multiprocessing`` queues with the shm array codec.
 
@@ -203,15 +258,16 @@ class ProcessTransport:
 
     needs_copy = False
 
-    def __init__(self, mailboxes: list, min_shm_bytes: int):
+    def __init__(self, mailboxes: list, min_shm_bytes: int, registry=None):
         self.nranks = len(mailboxes)
         self._mailboxes = mailboxes
         self._min_shm_bytes = int(min_shm_bytes)
+        self._registry = registry
 
     def put(self, message: Message) -> None:
         if not (0 <= message.dest < self.nranks):
             raise ValueError(f"invalid destination rank {message.dest}")
-        created: list = []
+        created = _RegisteredRefs(self._registry)
         try:
             payload = encode_payload(message.payload, self._min_shm_bytes, created)
             blob = pickle.dumps(
@@ -243,9 +299,10 @@ def _rank_main(
     cost_model: CostModel | None,
     copy_payloads: bool,
     min_shm_bytes: int,
+    registry=None,
 ) -> None:
     """Entry point of one rank process."""
-    transport = ProcessTransport(mailboxes, min_shm_bytes)
+    transport = ProcessTransport(mailboxes, min_shm_bytes, registry=registry)
     comm = Comm(transport, rank, cost_model=cost_model, copy_payloads=copy_payloads)
     try:
         result = fn(comm, *args)
@@ -313,6 +370,10 @@ class ProcessBackend(ExecutionBackend):
         ctx = multiprocessing.get_context(self.start_method)
         mailboxes = [ctx.Queue() for _ in range(nranks)]
         results_q = ctx.Queue()
+        # sender-side registry of created shm block names: a feeder-less
+        # SimpleQueue, so names written by a rank survive its death
+        registry = ctx.SimpleQueue()
+        registered: set = set()
         procs = [
             ctx.Process(
                 target=_rank_main,
@@ -325,6 +386,7 @@ class ProcessBackend(ExecutionBackend):
                     cost_model,
                     copy_payloads,
                     self.min_shm_bytes,
+                    registry,
                 ),
                 name=f"vmpi-rank-{r}",
                 daemon=True,
@@ -335,7 +397,7 @@ class ProcessBackend(ExecutionBackend):
         try:
             for pr in procs:
                 pr.start()
-            self._collect(procs, results_q, outcomes, nranks, timeout)
+            self._collect(procs, results_q, outcomes, nranks, timeout, registry, registered)
             failures = [o for o in outcomes.values() if not o[1]]
             if failures:
                 rank, _ok, desc, _rep = min(failures, key=lambda o: o[0])
@@ -358,6 +420,11 @@ class ProcessBackend(ExecutionBackend):
                 _drain_mailbox(q)
                 q.close()
                 q.join_thread()
+            # every rank is gone: unlink orphans of abnormal teardown
+            # (blocks stranded in killed feeders / never-drained pipes)
+            _drain_registry(registry, registered)
+            _unlink_registered(registered)
+            registry.close()
 
     def _collect(
         self,
@@ -366,10 +433,15 @@ class ProcessBackend(ExecutionBackend):
         outcomes: dict[int, tuple],
         nranks: int,
         timeout: float,
+        registry=None,
+        registered: set | None = None,
     ) -> None:
         """Gather one outcome per rank, stopping early on failure."""
         deadline = time.monotonic() + timeout
         while len(outcomes) < nranks:
+            if registry is not None:
+                # keep the (bounded) registry pipe drained while ranks run
+                _drain_registry(registry, registered)
             try:
                 item = results_q.get(timeout=0.2)
             except queue.Empty:

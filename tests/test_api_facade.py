@@ -1,0 +1,307 @@
+"""Cross-strategy parity suite for the unified ``repro.solve`` pipeline.
+
+Every registered method must produce the same solution (to its
+tolerance) on one volume problem and one BIE problem, return a
+well-formed :class:`SolveReport`, and agree bitwise-or-tolerance with
+the legacy call path it replaced. The registry must reject unknown
+method/execution names with errors that name the alternatives.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import SolveConfig, Solver, solve
+from repro.api import (
+    ProblemBase,
+    SolverStrategy,
+    StrategyResult,
+    available_methods,
+    check_problem,
+    register_strategy,
+    resolve_strategy,
+)
+from repro.api.strategies import _REGISTRY, DenseLUFactorization, resolve_execution
+from repro.bie import InteriorDirichletProblem, StarCurve
+from repro.core import SRSOptions, srs_factor
+from repro.iterative import cg
+from repro.kernels.base import dense_matrix
+
+
+@pytest.fixture(scope="module")
+def volume():
+    prob = repro.LaplaceVolumeProblem(16)
+    b = prob.random_rhs(seed=3)
+    x_ref = np.linalg.solve(dense_matrix(prob.kernel), b)
+    return prob, b, x_ref
+
+
+@pytest.fixture(scope="module")
+def boundary():
+    prob = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), 256)
+    b = prob.default_rhs()
+    x_ref = np.linalg.solve(dense_matrix(prob.kernel), b)
+    return prob, b, x_ref
+
+
+def check_report(report, config: SolveConfig, n: int) -> None:
+    """A SolveReport is well-formed whatever strategy produced it."""
+    assert report.x.shape[0] == n
+    assert report.method == config.method
+    assert report.execution in ("sequential", "thread", "process")
+    assert np.isfinite(report.relres)
+    assert report.iterations >= 0
+    assert isinstance(report.converged, bool)
+    assert report.t_setup >= 0.0 and report.t_solve >= 0.0
+    assert report.memory_bytes is not None and report.memory_bytes > 0
+    assert report.factorization is not None
+    assert len(report.residual_history) >= 1
+    assert report.summary()  # renders
+    if report.execution == "sequential":
+        assert report.sim_t_fact is None and report.messages is None
+    else:
+        assert report.sim_t_fact is not None and report.sim_t_fact > 0
+        assert report.messages is not None and report.comm_bytes is not None
+        assert report.sim_t_comp is not None and report.sim_t_other is not None
+
+
+# ----------------------------------------------------------------------
+# cross-strategy parity
+# ----------------------------------------------------------------------
+VOLUME_CONFIGS = [
+    SolveConfig(method="direct"),
+    SolveConfig(method="pcg", tol=1e-12),
+    SolveConfig(method="pgmres", tol=1e-12),
+    SolveConfig(method="dense_lu"),
+    SolveConfig(method="block_jacobi", tol=1e-11, maxiter=4000),
+    SolveConfig(method="direct", execution="thread", ranks=4),
+    SolveConfig(method="pcg", tol=1e-12, execution="thread", ranks=4),
+]
+
+
+@pytest.mark.parametrize("config", VOLUME_CONFIGS, ids=lambda c: f"{c.method}-{c.execution}")
+def test_volume_parity(volume, config):
+    prob, b, x_ref = volume
+    report = solve(prob, b, config)
+    check_report(report, config, prob.n)
+    scale = np.linalg.norm(x_ref)
+    # direct applies the eps=1e-6 compressed inverse once; iterative
+    # methods refine to their (much tighter) tolerance
+    tol = 1e-3 if config.method == "direct" else 1e-6
+    assert np.linalg.norm(report.x - x_ref) / scale < tol
+    if config.method != "direct":
+        assert report.converged
+
+
+BOUNDARY_CONFIGS = [
+    SolveConfig(method="direct", srs=SRSOptions(tol=1e-10)),
+    SolveConfig(method="pgmres", tol=1e-12, srs=SRSOptions(tol=1e-8)),
+    SolveConfig(method="dense_lu"),
+    SolveConfig(method="block_jacobi", tol=1e-12, maxiter=4000),
+    SolveConfig(method="direct", execution="thread", ranks=4, srs=SRSOptions(tol=1e-10)),
+]
+
+
+@pytest.mark.parametrize("config", BOUNDARY_CONFIGS, ids=lambda c: f"{c.method}-{c.execution}")
+def test_boundary_parity(boundary, config):
+    prob, b, x_ref = boundary
+    report = solve(prob, b, config)
+    check_report(report, config, prob.n)
+    scale = np.linalg.norm(x_ref)
+    assert np.linalg.norm(report.x - x_ref) / scale < 1e-6
+
+
+def test_pcg_rejects_nonsymmetric(boundary):
+    prob, b, _ = boundary
+    with pytest.raises(ValueError, match="pcg.*symmetric.*pgmres"):
+        solve(prob, b, SolveConfig(method="pcg"))
+    # rejected up front: no factorization is ever built
+    with pytest.raises(ValueError, match="pcg.*symmetric"):
+        Solver(prob, method="pcg")
+
+
+def test_operator_string_is_config_shorthand(boundary):
+    """solve(..., operator="treecode") selects the treecode matvec."""
+    prob, b, x_ref = boundary
+    report = solve(
+        prob, b, method="pgmres", operator="treecode", tol=1e-10,
+        srs=SRSOptions(tol=1e-8),
+    )
+    assert report.config.operator == "treecode"
+    assert np.linalg.norm(report.x - x_ref) / np.linalg.norm(x_ref) < 1e-5
+    with pytest.raises(ValueError, match="unknown operator"):
+        solve(prob, b, method="pgmres", operator="bogus")
+
+
+# ----------------------------------------------------------------------
+# legacy-path equivalence (the shims must not change numerics)
+# ----------------------------------------------------------------------
+def test_direct_matches_legacy_bitwise(volume):
+    prob, b, _ = volume
+    legacy = srs_factor(prob.kernel, opts=SRSOptions()).solve(b)
+    report = solve(prob, b, SolveConfig(method="direct"))
+    assert np.array_equal(report.x, legacy)
+
+
+def test_pcg_matches_legacy_bitwise(volume):
+    prob, b, _ = volume
+    fact = srs_factor(prob.kernel, opts=SRSOptions())
+    legacy = cg(prob.matvec, b, preconditioner=fact.solve, tol=1e-12, maxiter=500)
+    report = solve(prob, b, SolveConfig(method="pcg", tol=1e-12), factorization=fact)
+    assert np.array_equal(report.x, legacy.x)
+    assert report.iterations == legacy.iterations
+    # ... and the shim itself returns the identical CGResult shape
+    shim = prob.pcg(fact, b)
+    assert np.array_equal(shim.x, legacy.x)
+    assert shim.residual_history == legacy.residual_history
+
+
+def test_dense_lu_matches_legacy(boundary):
+    prob, b, x_ref = boundary
+    shim = prob.solve_dense(b)
+    assert np.allclose(shim, x_ref, rtol=1e-10, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# registry behavior
+# ----------------------------------------------------------------------
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError, match="unknown solve method 'bogus'.*direct"):
+        SolveConfig(method="bogus")
+    with pytest.raises(ValueError, match="unknown solve method"):
+        resolve_strategy("also-bogus")
+
+
+def test_unknown_execution_rejected():
+    with pytest.raises(ValueError, match="unknown execution 'bogus'.*sequential"):
+        SolveConfig(execution="bogus")
+    with pytest.raises(ValueError, match="unknown execution"):
+        resolve_execution("bogus")
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(ValueError, match="unknown operator"):
+        SolveConfig(operator="bogus")
+
+
+def test_sequential_only_methods_reject_parallel(volume):
+    prob, b, _ = volume
+    for method in ("dense_lu", "block_jacobi"):
+        with pytest.raises(ValueError, match=f"{method}.*sequential"):
+            solve(prob, b, SolveConfig(method=method, execution="thread"))
+
+
+def test_available_methods_lists_builtins():
+    names = available_methods()
+    for name in ("direct", "pcg", "pgmres", "dense_lu", "block_jacobi"):
+        assert name in names
+
+
+def test_register_custom_strategy(volume):
+    prob, b, _ = volume
+
+    @register_strategy
+    class EchoStrategy(SolverStrategy):
+        name = "echo-test"
+
+        def setup(self, problem, config):
+            return DenseLUFactorization(problem.kernel)
+
+        def run(self, problem, b, fact, config, operator=None):
+            return StrategyResult(fact.solve(b), 0, True, None)
+
+    try:
+        report = solve(prob, b, SolveConfig(method="echo-test"))
+        assert report.method == "echo-test"
+        assert report.relres < 1e-12
+    finally:
+        del _REGISTRY["echo-test"]
+
+
+# ----------------------------------------------------------------------
+# problem protocol + Solver caching
+# ----------------------------------------------------------------------
+def test_check_problem_names_missing_members():
+    class NotAProblem:
+        pass
+
+    with pytest.raises(TypeError, match="kernel"):
+        check_problem(NotAProblem())
+    with pytest.raises(TypeError, match="Problem"):
+        solve(NotAProblem(), np.zeros(3))
+
+
+def test_problem_base_defaults(volume):
+    prob, _, _ = volume
+    assert prob.factor_tree is None
+    assert prob.parallel_domain is None
+    assert prob.is_symmetric
+    assert callable(prob.operator())
+    # ProblemBase fallback rhs on a minimal custom problem
+    class Custom(ProblemBase):
+        def __init__(self, kernel):
+            self.kernel = kernel
+            self.matvec = lambda x: x
+
+        @property
+        def n(self):
+            return self.kernel.n
+
+    c = Custom(prob.kernel)
+    check_problem(c)
+    assert c.random_rhs(seed=1, nrhs=2).shape == (prob.n, 2)
+    assert c.default_rhs().shape == (prob.n,)
+
+
+def test_solver_caches_factorization(volume):
+    prob, b, _ = volume
+    solver = Solver(prob, method="pcg", tol=1e-10)
+    r1 = solver.solve(b)
+    fact = solver.factorization
+    r2 = solver.solve(prob.random_rhs(seed=7), tol=1e-6)
+    assert solver.factorization is fact  # tolerance refinement reuses it
+    assert solver.setup_time is not None and solver.setup_time > 0
+    assert r1.t_setup == 0.0 and r2.t_setup == 0.0
+    assert r2.config.tol == 1e-6 and solver.config.tol == 1e-10
+    assert r1.converged and r2.converged
+
+
+def test_solve_default_rhs_and_overrides(volume):
+    prob, _, _ = volume
+    report = solve(prob, method="pcg", tol=1e-8, maxiter=50)
+    assert report.converged
+    assert report.config.tol == 1e-8
+
+
+def test_rhs_shape_mismatch_rejected(volume):
+    prob, _, _ = volume
+    with pytest.raises(ValueError, match="rows"):
+        solve(prob, np.zeros(7))
+
+
+def test_multiple_rhs_block(volume):
+    prob, _, _ = volume
+    B = prob.random_rhs(seed=5, nrhs=3)
+    report = solve(prob, B)
+    assert report.x.shape == B.shape
+
+
+# ----------------------------------------------------------------------
+# auto execution
+# ----------------------------------------------------------------------
+def test_auto_execution_resolves(volume):
+    prob, b, _ = volume
+    assert resolve_execution("auto") in ("thread", "process")
+    report = solve(prob, b, SolveConfig(execution="auto", ranks=4))
+    assert report.execution in ("thread", "process")
+    check_report(report, SolveConfig(execution="auto", ranks=4), prob.n)
+
+
+def test_auto_env_backend(monkeypatch):
+    from repro.util.config import vmpi_backend
+    from repro.vmpi.backend import auto_backend_name, resolve_backend
+
+    monkeypatch.setenv("REPRO_VMPI_BACKEND", "auto")
+    assert vmpi_backend() == "auto"
+    assert resolve_backend(None).name == auto_backend_name()
+    assert resolve_backend("auto").name in ("thread", "process")

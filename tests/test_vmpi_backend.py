@@ -283,6 +283,56 @@ def test_put_releases_shm_blocks_on_pickle_failure():
     assert run.reports[0].messages_sent == 1
 
 
+def _orphan_send_prog(comm):
+    if comm.rank == 0:
+        # large enough to ride a shm block; rank 1 never receives it
+        comm.send(np.arange(20000, dtype=float), 1, tag=3)
+        raise ValueError("abort after send")
+    return None  # rank 1 exits without receiving
+
+
+@needs_process
+def test_abnormal_teardown_unlinks_registered_blocks():
+    """Blocks of messages stranded by a failing run must not persist.
+
+    The sender-side name registry lets the parent unlink whatever the
+    normal receiver/drain paths could not reach."""
+    import glob
+
+    before = set(glob.glob("/dev/shm/psm_*"))
+    with pytest.raises(RuntimeError, match="rank 0"):
+        run_spmd(2, _orphan_send_prog, backend="process")
+    leaked = set(glob.glob("/dev/shm/psm_*")) - before
+    assert not leaked, leaked
+
+
+@needs_process
+def test_unlink_registered_sweeps_orphans():
+    """The registry sweep unlinks live blocks and skips consumed names."""
+    import multiprocessing
+
+    from repro.vmpi.process_backend import (
+        _attach_shm,
+        _create_shm,
+        _drain_registry,
+        _unlink_registered,
+    )
+
+    shm = _create_shm(4096)
+    name = shm.name
+    shm.close()
+    q = multiprocessing.get_context().SimpleQueue()
+    q.put(name)
+    q.put("psm_repro_already_consumed")  # unlinked long ago: skipped
+    names: set = set()
+    _drain_registry(q, names)
+    assert name in names and len(names) == 2
+    _unlink_registered(names)
+    q.close()
+    with pytest.raises(FileNotFoundError):
+        _attach_shm(name)
+
+
 def _unpicklable_prog(comm):
     return lambda: 1  # dies in the child's queue feeder, not in fn
 
