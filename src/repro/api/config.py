@@ -39,14 +39,18 @@ class SolveConfig:
           (small problems / reference).
         * ``"block_jacobi"`` — leaf-block-diagonal preconditioner +
           Krylov (the ablation baseline).
+        * ``"cg"`` / ``"gmres"`` — *unpreconditioned* Krylov baselines
+          (the paper's ``nit_cg`` columns and Table V comparison).
 
         Unknown names raise a :class:`ValueError` listing the registry.
     execution:
         ``"sequential"`` runs the factorization in-process;
         ``"thread"``/``"process"`` run it on ``ranks`` simulated MPI
         ranks over the matching vmpi backend; ``"auto"`` picks thread
-        vs process by ``os.cpu_count()`` (single core: threads; more:
-        processes), mirroring ``REPRO_VMPI_BACKEND=auto``.
+        vs process by the usable-core budget (CPU affinity where the
+        platform exposes it, else ``os.cpu_count()``; single core:
+        threads; more: processes), mirroring
+        ``REPRO_VMPI_BACKEND=auto``.
     ranks:
         Simulated rank count for parallel execution (a power-of-two
         squared: 1, 4, 16, ...). ``None`` defaults to 4.

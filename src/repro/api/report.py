@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -96,6 +97,46 @@ class SolveReport:
         if self.krylov is not None:
             return self.krylov.residual_history
         return [self.relres]
+
+    def to_dict(self, *, include_relres: bool = True) -> dict:
+        """JSON-serializable scalars of this report (no arrays/objects).
+
+        ``include_relres=True`` evaluates the lazy true residual (one
+        forward-operator apply); pass ``False`` when the caller never
+        needs it and wants the record for free.
+        """
+        out = {
+            "method": self.method,
+            "execution": self.execution,
+            "n": int(np.asarray(self.x).shape[0]),
+            "nrhs": (
+                int(np.asarray(self.x).shape[1]) if np.asarray(self.x).ndim > 1 else 1
+            ),
+            "iterations": int(self.iterations),
+            "converged": bool(self.converged),
+            "t_setup": float(self.t_setup),
+            "t_solve": float(self.t_solve),
+            "memory_bytes": (
+                None if self.memory_bytes is None else int(self.memory_bytes)
+            ),
+            "sim_t_fact": self.sim_t_fact,
+            "sim_t_solve": self.sim_t_solve,
+            "sim_t_comp": self.sim_t_comp,
+            "sim_t_other": self.sim_t_other,
+            "messages": self.messages,
+            "comm_bytes": self.comm_bytes,
+        }
+        if include_relres:
+            out["relres"] = self.relres
+        if self.krylov is not None:
+            out["residual_history"] = [
+                float(r) for r in self.krylov.residual_history
+            ]
+        return out
+
+    def to_json(self, *, indent: int | None = None, include_relres: bool = True) -> str:
+        """This report as a JSON string (the benchmark-harness format)."""
+        return json.dumps(self.to_dict(include_relres=include_relres), indent=indent)
 
     def summary(self) -> str:
         """One informative line, for examples and benchmark logs."""

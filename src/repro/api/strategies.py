@@ -65,8 +65,10 @@ class StrategyResult(NamedTuple):
 def resolve_execution(execution: str) -> str:
     """Map a config execution to a concrete mode.
 
-    ``"auto"`` resolves to ``"thread"`` or ``"process"`` by core count
-    (the same policy as ``REPRO_VMPI_BACKEND=auto``); other names pass
+    ``"auto"`` resolves to ``"thread"`` or ``"process"`` by the
+    usable-core budget — CPU affinity where available, so restricted
+    cpusets count as the single-core boxes they effectively are (the
+    same policy as ``REPRO_VMPI_BACKEND=auto``); other names pass
     through after validation.
     """
     if execution == "auto":
@@ -196,6 +198,64 @@ class DirectStrategy(SolverStrategy):
 
     def run(self, problem, b, fact, config, operator=None) -> StrategyResult:
         return StrategyResult(fact.solve(b), 0, True, None)
+
+
+class IdentityPreconditioner:
+    """Setup product of the unpreconditioned Krylov strategies: ``M = I``."""
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return np.array(b, copy=True)
+
+    __call__ = solve
+
+    def memory_bytes(self) -> int:
+        return 0
+
+
+@register_strategy
+class CGStrategy(SolverStrategy):
+    """Unpreconditioned CG baseline (the paper's ``nit_cg`` columns)."""
+
+    name = "cg"
+
+    def check_compatible(self, problem, config: SolveConfig) -> None:
+        if not getattr(problem, "is_symmetric", False):
+            raise ValueError(
+                f"method 'cg' requires a symmetric problem; "
+                f"{type(problem).__name__} is not — use method='gmres'"
+            )
+
+    def setup(self, problem, config: SolveConfig) -> Factorization:
+        return IdentityPreconditioner()
+
+    def run(self, problem, b, fact, config, operator=None) -> StrategyResult:
+        res = cg(
+            get_operator(problem, config, operator),
+            b,
+            tol=config.tol,
+            maxiter=config.maxiter,
+        )
+        return StrategyResult(res.x, res.iterations, res.converged, res)
+
+
+@register_strategy
+class GMRESStrategy(SolverStrategy):
+    """Unpreconditioned restarted GMRES baseline (Table V's comparison)."""
+
+    name = "gmres"
+
+    def setup(self, problem, config: SolveConfig) -> Factorization:
+        return IdentityPreconditioner()
+
+    def run(self, problem, b, fact, config, operator=None) -> StrategyResult:
+        res = gmres(
+            get_operator(problem, config, operator),
+            b,
+            tol=config.tol,
+            restart=config.restart,
+            maxiter=config.maxiter,
+        )
+        return StrategyResult(res.x, res.iterations, res.converged, res)
 
 
 @register_strategy

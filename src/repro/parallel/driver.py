@@ -27,7 +27,7 @@ from repro.parallel.solve import solve_worker
 from repro.parallel.worker import WorkerResult, factor_worker
 from repro.tree.quadtree import QuadTree
 from repro.vmpi.clock import CostModel
-from repro.vmpi.launcher import SPMDRun, run_spmd
+from repro.vmpi.launcher import SPMDRun, resolve_backend, run_spmd
 
 
 @dataclass
@@ -41,7 +41,12 @@ class ParallelFactorization:
     workers: list[WorkerResult]
     factor_run: SPMDRun
     cost_model: CostModel | None = None
-    #: execution backend ("thread"/"process"/instance); None = configured default
+    #: the resolved :class:`~repro.vmpi.backend.ExecutionBackend`
+    #: *instance* the factorization ran on. ``solve`` dispatches through
+    #: the same instance, so a process backend in persistent-pool mode
+    #: reuses its :class:`~repro.vmpi.pool.RankPool` — repeated solves
+    #: spawn no processes (the facade's ``Solver`` caches this object
+    #: alongside the factorization).
     backend: object = None
     last_solve_run: SPMDRun | None = None
     _merged_stats: RankStats | None = field(default=None, repr=False)
@@ -122,9 +127,13 @@ def parallel_srs_factor(
     ``p <= 4**(nlevels - 1)`` so every rank owns at least a 2x2 block of
     leaf boxes. ``backend`` selects how ranks execute ("thread",
     "process", or an :class:`~repro.vmpi.backend.ExecutionBackend`);
-    ``None`` uses the ``REPRO_VMPI_BACKEND`` default. Results, message
-    counts, and byte counts are backend-independent.
+    ``None`` uses the ``REPRO_VMPI_BACKEND`` default. The spec is
+    resolved to an instance here and pinned on the returned
+    factorization, so later ``solve`` calls run on the same backend —
+    and, in persistent-pool mode, on the same rank-process pool.
+    Results, message counts, and byte counts are backend-independent.
     """
+    backend = resolve_backend(backend)
     opts = opts or SRSOptions()
     domain = domain or Square()
     if nlevels is None:

@@ -53,9 +53,12 @@ def vmpi_backend() -> str:
     * ``process`` — one OS process per rank with shared-memory ndarray
       transport: wall-clock scales with cores. Right for real-time
       benchmarks and large workloads.
-    * ``auto`` — pick by ``os.cpu_count()``: threads on a single core
-      (where processes are pure overhead), processes when real cores
-      are available (and the platform supports shared memory).
+    * ``auto`` — pick by the usable-core budget (CPU affinity where
+      the platform exposes it — so cpuset-restricted containers are
+      treated as the small boxes they are — else ``os.cpu_count()``):
+      threads on a single core (where processes are pure overhead),
+      processes when real cores are available (and the platform
+      supports shared memory).
     """
     raw = os.environ.get("REPRO_VMPI_BACKEND")
     if raw is None or raw.strip() == "":
@@ -78,3 +81,61 @@ def vmpi_shm_min_bytes() -> int:
     if n < 0:
         raise ValueError(f"REPRO_VMPI_SHM_MIN_BYTES must be >= 0, got {n}")
     return n
+
+
+#: rank-process lifecycle policies of the process backend
+VMPI_POOL_MODES = ("persistent", "per_call")
+
+
+def vmpi_pool() -> str:
+    """Rank-process lifecycle of the process backend (``REPRO_VMPI_POOL``).
+
+    * ``persistent`` (default) — ranks are long-lived workers in a
+      :class:`~repro.vmpi.pool.RankPool`: spawned once, then successive
+      ``run_spmd`` dispatches (``factor`` followed by many ``solve`` s)
+      reuse them without re-forking.
+    * ``per_call`` — the pre-pool behavior: every ``run_spmd`` call
+      spawns fresh rank processes and tears them down afterwards.
+    """
+    raw = os.environ.get("REPRO_VMPI_POOL")
+    if raw is None or raw.strip() == "":
+        return "persistent"
+    name = raw.strip().lower().replace("-", "_")
+    if name not in VMPI_POOL_MODES:
+        raise ValueError(
+            f"REPRO_VMPI_POOL={raw!r} is not one of {'/'.join(VMPI_POOL_MODES)}"
+        )
+    return name
+
+
+def vmpi_pool_max() -> int:
+    """Most rank pools kept alive at once (``REPRO_VMPI_POOL_MAX``).
+
+    Pools are keyed by (rank count, start method, shm threshold);
+    creating one beyond the cap shuts down the least recently used —
+    the idle policy that bounds resident worker processes (default 4
+    pools).
+    """
+    n = env_int("REPRO_VMPI_POOL_MAX", 4)
+    if n < 1:
+        raise ValueError(f"REPRO_VMPI_POOL_MAX must be >= 1, got {n}")
+    return n
+
+
+def vmpi_start_method() -> str | None:
+    """Multiprocessing start-method override (``REPRO_VMPI_START_METHOD``).
+
+    ``None`` (unset) lets the backend pick: fork on Linux, the platform
+    default elsewhere. Set ``spawn`` to exercise the pickling-clean
+    path that non-fork platforms (macOS, Windows) take, or
+    ``forkserver``/``fork`` explicitly.
+    """
+    raw = os.environ.get("REPRO_VMPI_START_METHOD")
+    if raw is None or raw.strip() == "":
+        return None
+    name = raw.strip().lower()
+    if name not in {"fork", "spawn", "forkserver"}:
+        raise ValueError(
+            f"REPRO_VMPI_START_METHOD={raw!r} is not one of fork/spawn/forkserver"
+        )
+    return name

@@ -29,6 +29,7 @@ from repro.vmpi.backend import (
     RankReport,
     SPMDRun,
     ThreadBackend,
+    effective_cpu_count,
     resolve_backend,
 )
 from repro.vmpi.clock import CostModel, SimClock, INTRA_NODE, INTER_NODE
@@ -36,6 +37,7 @@ from repro.vmpi.comm import Comm, DeadlockError
 from repro.vmpi.darray import DArray
 from repro.vmpi.grid import ProcessGrid2D
 from repro.vmpi.launcher import run_spmd
+from repro.vmpi.pool import RankPool, active_pools, get_pool, shutdown_all_pools
 from repro.vmpi.process_backend import ProcessBackend, process_backend_available
 
 __all__ = [
@@ -53,6 +55,11 @@ __all__ = [
     "ExecutionBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "RankPool",
+    "active_pools",
+    "get_pool",
+    "shutdown_all_pools",
+    "effective_cpu_count",
     "resolve_backend",
     "process_backend_available",
 ]

@@ -169,17 +169,34 @@ class ThreadBackend(ExecutionBackend):
         return SPMDRun(results, [report_from_comm(c) for c in comms])
 
 
-def auto_backend_name() -> str:
-    """The backend ``auto`` resolves to: thread vs process by core count.
+def effective_cpu_count() -> int:
+    """Cores this process may actually run on.
 
-    On a single core the process backend is pure overhead (fork +
-    pickle with no parallel compute to win back), so ``auto`` keeps the
-    deterministic thread backend there and switches to processes as
-    soon as more cores are available and shared memory works.
+    ``os.cpu_count()`` reports the machine, not the cgroup/cpuset: a
+    container pinned to one core of a 64-core host would look
+    64-core. CPU affinity (``os.sched_getaffinity``) reflects the real
+    budget where the platform exposes it (Linux); elsewhere fall back
+    to the machine count.
     """
     import os
 
-    if (os.cpu_count() or 1) > 1:
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def auto_backend_name() -> str:
+    """The backend ``auto`` resolves to: thread vs process by core budget.
+
+    On a single usable core the process backend is pure overhead (fork +
+    pickle with no parallel compute to win back), so ``auto`` keeps the
+    deterministic thread backend there and switches to processes as
+    soon as more cores are available and shared memory works. The core
+    budget honors CPU affinity, so a cpuset-restricted container is
+    treated as the small box it effectively is.
+    """
+    if effective_cpu_count() > 1:
         from repro.vmpi.process_backend import process_backend_available
 
         if process_backend_available():

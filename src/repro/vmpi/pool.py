@@ -1,0 +1,539 @@
+"""Persistent rank-process pool for the process execution backend.
+
+A :class:`RankPool` spawns ``p`` long-lived worker processes *once* and
+then dispatches successive SPMD programs to them — ``factor`` followed
+by many ``solve`` s through one :class:`~repro.api.facade.Solver` pays
+the fork/spawn + interpreter-warmup cost exactly one time instead of
+per call. The per-rank mailboxes, the shared-memory name registry, and
+the result queue all stay alive across dispatches.
+
+Protocol per dispatch (one *job*):
+
+1. The parent encodes ``(fn, args, cost_model, copy_payloads)`` through
+   the shm codec (large arrays — e.g. the ``WorkerResult`` list a
+   distributed solve re-ships — travel as shared-memory blocks, mapped
+   zero-copy by each worker) and writes one pre-pickled command blob
+   per rank to that rank's command queue.
+2. Each worker builds a fresh :class:`~repro.vmpi.comm.Comm` over the
+   persistent mailboxes, stamped with the job id as the transport
+   *epoch*: a message stranded by an earlier job (sent but never
+   received) is discarded on receipt — with its shm blocks unlinked —
+   instead of corrupting a later program that reuses the same
+   (source, tag) pair.
+3. Workers run ``fn(comm, *args)``, encode the result through the shm
+   codec (factorization dataclasses travel zero-copy), and pre-pickle
+   the outcome — so an unpicklable result is reported as that rank's
+   failure instead of dying silently in a queue feeder thread.
+4. The parent collects one outcome per rank, decodes results, and
+   sweeps the registry: with all workers idle, any registered block
+   that still has a name is an orphan and is unlinked — repeated
+   dispatches leave ``/dev/shm`` exactly as they found it.
+
+Failure policy: if every rank reported an outcome the pool survives a
+failed job (workers are idle again; mailboxes are drained and stale
+messages are epoch-guarded). If ranks are missing — stuck in a receive
+that can never complete, or dead — the pool is torn down hard
+(terminate + drain + registry sweep) and the caller gets the error;
+the next dispatch transparently starts a fresh pool.
+
+Pools are cached process-wide by ``(nranks, start_method,
+min_shm_bytes)`` in an LRU registry capped at ``REPRO_VMPI_POOL_MAX``
+(the idle policy), and shut down cleanly at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import queue
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.util.config import vmpi_pool_max
+from repro.vmpi.backend import RankReport, SPMDRun, report_from_comm
+from repro.vmpi.clock import CostModel
+from repro.vmpi.comm import Comm
+from repro.vmpi.process_backend import (
+    ProcessTransport,
+    _describe,
+    _drain_mailbox,
+    _drain_registry,
+    _ensure_resource_tracker,
+    _RegisteredRefs,
+    _release_refs,
+    _teardown_procs,
+    _unlink_registered,
+    decode_payload,
+    encode_payload,
+)
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+class DispatchEncodeError(Exception):
+    """The job payload could not be encoded/pickled for dispatch.
+
+    Raised *before* any worker saw the job, so the pool is untouched —
+    the guarantee :class:`~repro.vmpi.process_backend.ProcessBackend`
+    relies on to fall back to the per-call fork path for closure/lambda
+    programs. Chains the original pickling error as ``__cause__``.
+    """
+
+
+def _pool_worker_main(
+    rank: int,
+    cmd_q,
+    results_q,
+    mailboxes: list,
+    registry,
+    min_shm_bytes: int,
+) -> None:
+    """Entry point of one persistent rank worker (module-level: must be
+    importable under the spawn start method). One job per loop turn; the
+    job body lives in :func:`_execute_job` so its locals — the decoded
+    args, the program's result, the Comm — die when it returns, instead
+    of pinning factorization-sized memory while the worker idles on the
+    next command."""
+    while True:
+        try:
+            blob = cmd_q.get()
+        except (EOFError, OSError):  # pragma: no cover - parent vanished
+            return
+        cmd = pickle.loads(blob)
+        if cmd[0] == "stop":
+            return
+        results_q.put(_execute_job(rank, cmd, mailboxes, registry, min_shm_bytes))
+
+
+def _execute_job(rank: int, cmd, mailboxes: list, registry, min_shm_bytes: int) -> bytes:
+    """Run one dispatched SPMD program; returns the pre-pickled outcome.
+
+    The command's payload arrives as a nested pickle blob, opened *here*
+    inside the failure-reporting try: unpickling the program triggers
+    module imports in this process (by-reference functions under spawn),
+    and an import/decode error must surface as a clean rank failure —
+    traceback preserved, pool kept alive — not a dead worker.
+    """
+    _, job_id, payload_blob = cmd
+    created = _RegisteredRefs(registry)
+    try:
+        fn, args, cost_model, copy_payloads = decode_payload(pickle.loads(payload_blob))
+        transport = ProcessTransport(
+            mailboxes, min_shm_bytes, registry=registry, epoch=job_id
+        )
+        comm = Comm(
+            transport, rank, cost_model=cost_model, copy_payloads=copy_payloads
+        )
+        result = fn(comm, *args)
+        out = (
+            rank,
+            job_id,
+            True,
+            encode_payload(result, min_shm_bytes, created),
+            report_from_comm(comm),
+        )
+        return pickle.dumps(out, protocol=_PICKLE)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        _release_refs(created)
+        return pickle.dumps(
+            (rank, job_id, False, _describe(exc), None), protocol=_PICKLE
+        )
+
+
+class RankPool:
+    """``p`` long-lived rank processes dispatching SPMD programs."""
+
+    def __init__(self, nranks: int, start_method: str, min_shm_bytes: int):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = int(nranks)
+        self.start_method = start_method
+        self.min_shm_bytes = int(min_shm_bytes)
+        #: total processes ever started by this pool (the spawn probe:
+        #: stays at ``nranks`` across any number of dispatches)
+        self.spawn_count = 0
+        #: dispatches completed or failed through this pool
+        self.jobs_run = 0
+        self._job_id = 0
+        self._procs: list | None = None
+        self._registered: set = set()
+        # one job at a time per pool: the mailboxes/result queue carry a
+        # single SPMD program, so concurrent run_spmd calls from
+        # different threads serialize here (the per-call backend, whose
+        # state is all call-local, stays fully reentrant). RLock because
+        # run() calls ensure_started()/shutdown() internally.
+        self._lock = threading.RLock()
+        #: registry membership: _origin_registry is sticky (ever owned a
+        #: slot), _in_registry is current. A registry pool revived after
+        #: a concurrent idle-eviction either reclaims its slot or
+        #: self-retires after its current job — never leaks workers.
+        self._origin_registry = False
+        self._in_registry = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Workers are up and able to take a dispatch."""
+        return self._procs is not None and all(pr.is_alive() for pr in self._procs)
+
+    @property
+    def never_started(self) -> bool:
+        """Freshly constructed — distinct from a pool whose workers died."""
+        return self._procs is None and self.spawn_count == 0
+
+    def ensure_started(self) -> None:
+        """Spawn the workers (or respawn after a hard shutdown/death)."""
+        with self._lock:
+            self._ensure_started_locked()
+
+    def _ensure_started_locked(self) -> None:
+        if self.alive:
+            return
+        if self._procs is not None:
+            # a worker died: rebuild from scratch, but stay registered —
+            # this pool object is being revived, and dropping it from
+            # the registry would orphan it from the atexit hook and let
+            # get_pool spawn a duplicate under the same key
+            self.shutdown(forget=False)
+        import multiprocessing
+
+        _ensure_resource_tracker()
+        ctx = multiprocessing.get_context(self.start_method)
+        self._mailboxes = [ctx.Queue() for _ in range(self.nranks)]
+        self._cmd_qs = [ctx.SimpleQueue() for _ in range(self.nranks)]
+        self._results_q = ctx.Queue()
+        # feeder-less pipe: shm names written by a rank survive its death
+        self._registry_q = ctx.SimpleQueue()
+        self._registered = set()
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker_main,
+                args=(
+                    r,
+                    self._cmd_qs[r],
+                    self._results_q,
+                    self._mailboxes,
+                    self._registry_q,
+                    self.min_shm_bytes,
+                ),
+                name=f"vmpi-pool-rank-{r}",
+                daemon=True,
+            )
+            for r in range(self.nranks)
+        ]
+        started: list = []
+        try:
+            for pr in self._procs:
+                pr.start()
+                started.append(pr)
+        except BaseException:
+            # partial start (e.g. fork EAGAIN on a loaded box): reap the
+            # ranks that did come up — leaving them would orphan daemon
+            # workers, and a later shutdown() would fail joining the
+            # never-started Process objects
+            self.spawn_count += len(started)
+            self._procs = started
+            self.shutdown(forget=False)
+            raise
+        self.spawn_count += len(self._procs)
+        if self._origin_registry and not self._in_registry:
+            # concurrently evicted from the registry while idle, now
+            # revived: reclaim the slot if it is free or held by a dead
+            # pool; if a live replacement owns it, this pool finishes
+            # its current job and self-retires (_retire_if_orphaned)
+            key = (self.nranks, self.start_method, self.min_shm_bytes)
+            stale = None
+            with _POOLS_LOCK:
+                cur = _POOLS.get(key)
+                if cur is None or not (cur.alive or cur.never_started):
+                    if cur is not None:
+                        cur._in_registry = False
+                        stale = cur
+                    _POOLS[key] = self
+                    self._in_registry = True
+            if stale is not None:
+                # displaced dead pool: drain/sweep its resources like
+                # get_pool does, or its registry-recorded shm names
+                # would never be unlinked
+                stale.shutdown(forget=False)
+
+    def shutdown(self, *, forget: bool = True) -> None:
+        """Stop the workers and reclaim every transport resource.
+
+        ``forget=False`` keeps the pool in the process-wide registry —
+        used by :meth:`ensure_started` when tearing down dead workers
+        immediately before respawning them.
+        """
+        with self._lock:
+            self._shutdown_locked(forget=forget)
+
+    def _shutdown_locked(self, *, forget: bool) -> None:
+        if self._procs is None:
+            return
+        procs, self._procs = self._procs, None
+        stop = pickle.dumps(("stop",), protocol=_PICKLE)
+        for q in self._cmd_qs:
+            try:
+                q.put(stop)
+            except (OSError, ValueError):  # pragma: no cover - closing
+                pass
+        _teardown_procs(
+            procs, self._mailboxes, self._results_q, self._registry_q, self._registered
+        )
+        self._registered = set()
+        for q in self._cmd_qs:
+            q.close()
+        if forget:
+            _forget(self)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        *,
+        cost_model: CostModel | None = None,
+        copy_payloads: bool = True,
+        timeout: float = 3600.0,
+    ) -> SPMDRun:
+        """Dispatch one SPMD program to the resident workers.
+
+        Serialized per pool: the persistent mailboxes and result queue
+        carry exactly one job, so a second thread dispatching through
+        the same pool blocks until the first job completes.
+        """
+        with self._lock:
+            return self._run_locked(
+                fn,
+                args,
+                cost_model=cost_model,
+                copy_payloads=copy_payloads,
+                timeout=timeout,
+            )
+
+    def _run_locked(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        *,
+        cost_model: CostModel | None,
+        copy_payloads: bool,
+        timeout: float,
+    ) -> SPMDRun:
+        self.ensure_started()
+        # probe the program itself before touching the (possibly huge)
+        # args: a closure/lambda fn fails cheaply here, before any array
+        # is copied into shm — the fork fallback then costs nothing
+        try:
+            pickle.dumps((fn, cost_model), protocol=_PICKLE)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise DispatchEncodeError(
+                f"SPMD program could not be pickled for dispatch: {exc!r}"
+            ) from exc
+        # args are shared read-only across ranks (the run_spmd contract;
+        # the thread backend shares the very same objects), so encode
+        # them ONCE into multi-receiver shm blocks: every rank maps the
+        # same copy, and a distributed solve re-shipping the whole
+        # factorization costs one memcpy instead of p
+        created = _RegisteredRefs(self._registry_q)
+        try:
+            payload = encode_payload(
+                (fn, args, cost_model, copy_payloads),
+                self.min_shm_bytes,
+                created,
+                shared=True,
+            )
+            # nested blob: the outer control tuple is always loadable in
+            # the worker; the payload is unpickled inside the worker's
+            # failure-reporting path (see _execute_job)
+            payload_blob = pickle.dumps(payload, protocol=_PICKLE)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            _release_refs(created)
+            raise DispatchEncodeError(
+                f"SPMD job payload could not be pickled for dispatch: {exc!r}"
+            ) from exc
+        except Exception:
+            _release_refs(created)
+            raise
+        # the job exists only once its payload is dispatchable
+        self._job_id += 1
+        self.jobs_run += 1
+        job = self._job_id
+        blob = pickle.dumps(("run", job, payload_blob), protocol=_PICKLE)
+        try:
+            for rank in range(self.nranks):
+                self._cmd_qs[rank].put(blob)
+        except Exception:
+            # a partially dispatched job leaves some ranks blocked in
+            # receives that can never complete — tear down hard
+            self.shutdown()
+            raise
+        outcomes = self._collect(job, timeout)
+        failures = [o for o in outcomes.values() if not o[2]]
+        if failures:
+            if len(outcomes) < self.nranks:
+                # ranks still missing are stuck in receives that can
+                # never complete: tear the pool down hard
+                self.shutdown()
+            else:
+                # every rank reported, so the workers are idle again:
+                # the pool survives a clean failure. Drain stranded
+                # messages and sweep; blocks of the never-decoded
+                # successful results are reclaimed by the registry sweep
+                for q in self._mailboxes:
+                    _drain_mailbox(q)
+                self._sweep()
+            rank, _job, _ok, desc, _rep = min(failures, key=lambda o: o[0])
+            self._retire_if_orphaned()
+            raise RuntimeError(f"rank {rank} failed: {desc}")
+        results = [decode_payload(outcomes[r][3]) for r in range(self.nranks)]
+        reports: list[RankReport] = [outcomes[r][4] for r in range(self.nranks)]
+        self._sweep()
+        self._retire_if_orphaned()
+        return SPMDRun(results, reports)
+
+    def _retire_if_orphaned(self) -> None:
+        """Shut down a revived registry pool that lost its slot to a
+        live replacement — nothing re-acquires it (``ProcessBackend``
+        always goes through ``get_pool``), so without this its workers
+        would idle unowned for the rest of the process."""
+        if self._origin_registry and not self._in_registry:
+            self._shutdown_locked(forget=False)
+
+    def _collect(self, job: int, timeout: float) -> dict[int, tuple]:
+        """One outcome per rank; stops early (1s grace) once a rank fails."""
+        outcomes: dict[int, tuple] = {}
+        deadline = time.monotonic() + timeout
+        fail_grace: float | None = None
+        while len(outcomes) < self.nranks:
+            _drain_registry(self._registry_q, self._registered)
+            now = time.monotonic()
+            if fail_grace is not None and now > fail_grace:
+                return outcomes
+            if now > deadline:
+                pending = sorted(set(range(self.nranks)) - set(outcomes))
+                self.shutdown()
+                raise TimeoutError(
+                    f"SPMD run did not finish within {timeout}s (ranks {pending} alive)"
+                )
+            try:
+                blob = self._results_q.get(timeout=0.2)
+            except queue.Empty:
+                dead = [
+                    r
+                    for r, pr in enumerate(self._procs)
+                    if r not in outcomes and pr.exitcode is not None
+                ]
+                if not dead:
+                    continue
+                try:  # the outcome may still be in flight; one grace read
+                    blob = self._results_q.get(timeout=1.0)
+                except queue.Empty:
+                    code = self._procs[dead[0]].exitcode
+                    self.shutdown()
+                    raise RuntimeError(
+                        f"pool rank {dead[0]} died with exit code {code}"
+                    ) from None
+            item = pickle.loads(blob)
+            if item[1] != job:  # pragma: no cover - job aborted earlier
+                _release_refs(item[3])
+                continue
+            outcomes[item[0]] = item
+            if not item[2] and fail_grace is None:
+                fail_grace = time.monotonic() + 1.0
+        return outcomes
+
+    def _sweep(self) -> None:
+        """Unlink orphaned shm blocks (workers must be idle).
+
+        Every block delivered normally was already unlinked by its
+        receiver, so attaching fails and it is skipped; anything still
+        named is stranded — a message nobody received, or a result of a
+        failed job — and is reclaimed here.
+        """
+        _drain_registry(self._registry_q, self._registered)
+        _unlink_registered(self._registered)
+        self._registered = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "down"
+        return (
+            f"RankPool(nranks={self.nranks}, start_method={self.start_method!r}, "
+            f"{state}, spawns={self.spawn_count}, jobs={self.jobs_run})"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide pool registry (LRU, capped by REPRO_VMPI_POOL_MAX)
+# ----------------------------------------------------------------------
+_POOLS: "OrderedDict[tuple, RankPool]" = OrderedDict()
+#: guards _POOLS only. Lock order is always pool._lock -> _POOLS_LOCK
+#: (shutdown -> _forget); pools to shut down are collected under the
+#: registry lock but torn down after releasing it, never the reverse.
+_POOLS_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def get_pool(nranks: int, start_method: str, min_shm_bytes: int) -> RankPool:
+    """The shared pool for this shape, started; LRU-evicts beyond the cap."""
+    global _ATEXIT_REGISTERED
+    key = (int(nranks), start_method, int(min_shm_bytes))
+    evict: list[RankPool] = []
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        # reuse live pools AND freshly inserted ones another thread has
+        # not finished starting (ensure_started below is idempotent)
+        if pool is not None and (pool.alive or pool.never_started):
+            _POOLS.move_to_end(key)
+        else:
+            if pool is not None:  # dead pool: replace it
+                evict.append(_POOLS.pop(key))
+            pool = RankPool(nranks, start_method, min_shm_bytes)
+            pool._origin_registry = pool._in_registry = True
+            _POOLS[key] = pool
+            while len(_POOLS) > vmpi_pool_max():
+                _key, lru = _POOLS.popitem(last=False)
+                evict.append(lru)
+        for old in evict:
+            old._in_registry = False
+        if not _ATEXIT_REGISTERED:
+            # registered after multiprocessing's own atexit hook, so
+            # (LIFO) this runs first, while worker teardown still works
+            atexit.register(shutdown_all_pools)
+            _ATEXIT_REGISTERED = True
+    for old in evict:
+        old.shutdown()
+    pool.ensure_started()
+    return pool
+
+
+def active_pools() -> list[RankPool]:
+    """Snapshot of the cached pools (introspection/tests)."""
+    with _POOLS_LOCK:
+        return list(_POOLS.values())
+
+
+def _forget(pool: RankPool) -> None:
+    """Drop a pool from the registry (called from ``shutdown``)."""
+    with _POOLS_LOCK:
+        pool._in_registry = False
+        for key, cached in list(_POOLS.items()):
+            if cached is pool:
+                del _POOLS[key]
+
+
+def shutdown_all_pools() -> None:
+    """Shut down every cached pool (interpreter-exit hook)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+        for pool in pools:
+            pool._in_registry = False
+    for pool in pools:
+        pool.shutdown()

@@ -28,6 +28,7 @@ such orphans persist in /dev/shm until reboot.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import multiprocessing
 import pickle
@@ -40,7 +41,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.util.config import vmpi_shm_min_bytes
+from repro.util.config import vmpi_pool, vmpi_shm_min_bytes, vmpi_start_method
 from repro.vmpi.backend import ExecutionBackend, RankReport, SPMDRun, report_from_comm
 from repro.vmpi.clock import CostModel
 from repro.vmpi.comm import Comm
@@ -52,11 +53,26 @@ from repro.vmpi.transport import Message
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ShmRef:
-    """Placeholder for an ndarray that travels out-of-band in a shm block."""
+    """Placeholder for an ndarray that travels out-of-band in a shm block.
+
+    ``order`` preserves Fortran contiguity across the transport —
+    LAPACK products (e.g. LU factors) are F-ordered, and normalizing
+    them to C order would route later BLAS calls down different code
+    paths, breaking bitwise cross-backend parity.
+
+    ``shared`` switches the lifetime protocol: the default (point-to-
+    point message payloads) is exactly-one-receiver — the receiver
+    unlinks on attach. Shared refs (pool dispatch args, which
+    ``run_spmd`` documents as shared read-only across ranks) are
+    attached by *every* rank without unlinking; the dispatcher owns the
+    name and reclaims it in the post-job registry sweep.
+    """
 
     name: str
     shape: tuple
     dtype: str
+    order: str = "C"
+    shared: bool = False
 
 
 def _close_when_collected(shm) -> None:
@@ -96,44 +112,114 @@ def _attach_shm(name: str):
     return shm
 
 
-def encode_payload(obj: Any, min_bytes: int, created: list | None = None) -> Any:
+def _ensure_resource_tracker() -> None:
+    """Start the parent's resource tracker before launching ranks.
+
+    Pre-3.13 every block creation REGISTERs with a tracker. If the
+    first tracker use happens *inside* a rank, each rank lazily spawns
+    its own — and a block created in rank A but unlinked in rank B (the
+    normal lifetime protocol) leaves A's tracker convinced the block
+    leaked, warning at shutdown. Starting the tracker here makes every
+    rank inherit the one shared instance, so REGISTER and UNREGISTER
+    pair up no matter which process performs them. On 3.13+ blocks are
+    created untracked and this is a harmless no-op.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+
+
+def _walkable_fields(obj: Any) -> dict | None:
+    """Attribute dict of payload objects the codec recurses into.
+
+    Dataclass *instances* are walked automatically (``WorkerResult``,
+    ``BoxRecord``, ``LevelPlan``, ``RankStats``, ...); plain classes opt
+    in by setting ``__shm_walk__ = True`` (:class:`~repro.linalg.lu.PartialLU`).
+    :class:`ShmRef` itself and anything without an instance ``__dict__``
+    stay on the pickle channel.
+    """
+    if isinstance(obj, (ShmRef, type)):
+        return None
+    if dataclasses.is_dataclass(obj) or getattr(type(obj), "__shm_walk__", False):
+        try:
+            return vars(obj)
+        except TypeError:  # pragma: no cover - slots-only classes
+            return None
+    return None
+
+
+def encode_payload(
+    obj: Any, min_bytes: int, created: list | None = None, *, shared: bool = False
+) -> Any:
     """Replace large ndarrays in a payload tree with :class:`ShmRef` s.
 
-    Containers (tuple/list/dict) are walked recursively; anything
-    else — including ndarrays below ``min_bytes``, object-dtype and
-    void/structured arrays — is left in place for the pickle channel.
+    Containers (tuple/list/dict) and dataclass payloads (see
+    :func:`_walkable_fields`) are walked recursively; anything else is
+    left in place for the pickle channel. The fallback is deterministic
+    — it depends only on the array's properties, never on a runtime
+    failure: 0-byte and 0-d arrays (SharedMemory rejects size-0 blocks;
+    scalars are control-message sized anyway), arrays below
+    ``min_bytes``, object dtypes (not flat memory), and void/structured
+    dtypes (field layout would be lost through the ``dtype.str``
+    round-trip) all ride the pickle channel. Non-contiguous views are
+    supported: they are carved through one contiguous copy.
+
+    Unchanged subtrees are returned *by identity*, so walked containers
+    and dataclasses are only rebuilt (shallow copies — the originals
+    are never mutated) along paths that actually carved an array.
     ``created`` (when given) collects every :class:`ShmRef` made, so a
     caller that fails partway — mid-tree ``_create_shm`` ENOSPC, or a
     later pickling error — can unlink the blocks already carved.
     """
     if isinstance(obj, np.ndarray):
-        # pickle-channel cases: 0-byte arrays (SharedMemory rejects
-        # size-0 blocks), object dtypes (not flat memory), and
-        # void/structured dtypes (field layout would be lost through
-        # the dtype.str round-trip)
         if (
             obj.nbytes == 0
+            or obj.ndim == 0
             or obj.nbytes < min_bytes
             or obj.dtype.hasobject
             or obj.dtype.kind == "V"
         ):
             return obj
-        arr = np.ascontiguousarray(obj)
+        if obj.flags.f_contiguous and not obj.flags.c_contiguous:
+            arr, order = np.asfortranarray(obj), "F"
+        else:
+            arr, order = np.ascontiguousarray(obj), "C"
         shm = _create_shm(arr.nbytes)
-        ref = ShmRef(shm.name, arr.shape, arr.dtype.str)
+        ref = ShmRef(shm.name, arr.shape, arr.dtype.str, order, shared)
         # record the name before the (possibly large) copy: a crash or
         # terminate() mid-copy must still leave the block reclaimable
         if created is not None:
             created.append(ref)
-        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, order=order)[...] = arr
         shm.close()
         return ref
     if isinstance(obj, tuple):
-        return tuple(encode_payload(x, min_bytes, created) for x in obj)
+        items = [encode_payload(x, min_bytes, created, shared=shared) for x in obj]
+        if all(a is b for a, b in zip(items, obj)):
+            return obj
+        return tuple(items) if type(obj) is tuple else type(obj)(*items)
     if isinstance(obj, list):
-        return [encode_payload(x, min_bytes, created) for x in obj]
+        items = [encode_payload(x, min_bytes, created, shared=shared) for x in obj]
+        return obj if all(a is b for a, b in zip(items, obj)) else items
     if isinstance(obj, dict):
-        return {k: encode_payload(v, min_bytes, created) for k, v in obj.items()}
+        out = {
+            k: encode_payload(v, min_bytes, created, shared=shared)
+            for k, v in obj.items()
+        }
+        return obj if all(out[k] is v for k, v in obj.items()) else out
+    fields = _walkable_fields(obj)
+    if fields is not None:
+        clone = None
+        for name, val in fields.items():
+            enc = encode_payload(val, min_bytes, created, shared=shared)
+            if enc is not val:
+                if clone is None:
+                    clone = copy.copy(obj)
+                object.__setattr__(clone, name, enc)
+        return obj if clone is None else clone
     return obj
 
 
@@ -143,23 +229,41 @@ def decode_payload(obj: Any) -> Any:
     The block's handle lives exactly as long as the decoded array (a
     ``weakref.finalize`` closes it on collection), so resident shared
     memory tracks the receiver's *working set*, not the total bytes
-    ever received.
+    ever received. Walked dataclass payloads are patched in place —
+    the decoded object graph belongs exclusively to the receiver.
     """
     if isinstance(obj, ShmRef):
         shm = _attach_shm(obj.name)
-        try:
-            shm.unlink()  # name released now; mapping lives while handle does
-        except FileNotFoundError:  # pragma: no cover - duplicate cleanup
-            pass
-        arr = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype), buffer=shm.buf)
+        if not obj.shared:
+            try:
+                shm.unlink()  # name released; mapping lives while handle does
+            except FileNotFoundError:  # pragma: no cover - duplicate cleanup
+                pass
+        # shared refs (multi-receiver dispatch args): the name stays —
+        # the dispatcher unlinks it in the post-job registry sweep
+        arr = np.ndarray(
+            obj.shape, dtype=np.dtype(obj.dtype), buffer=shm.buf, order=obj.order
+        )
         weakref.finalize(arr, _close_when_collected, shm)
         return arr
     if isinstance(obj, tuple):
-        return tuple(decode_payload(x) for x in obj)
+        items = [decode_payload(x) for x in obj]
+        if all(a is b for a, b in zip(items, obj)):
+            return obj
+        return tuple(items) if type(obj) is tuple else type(obj)(*items)
     if isinstance(obj, list):
-        return [decode_payload(x) for x in obj]
+        items = [decode_payload(x) for x in obj]
+        return obj if all(a is b for a, b in zip(items, obj)) else items
     if isinstance(obj, dict):
-        return {k: decode_payload(v) for k, v in obj.items()}
+        out = {k: decode_payload(v) for k, v in obj.items()}
+        return obj if all(out[k] is v for k, v in obj.items()) else out
+    fields = _walkable_fields(obj)
+    if fields is not None:
+        for name, val in list(fields.items()):
+            dec = decode_payload(val)
+            if dec is not val:
+                object.__setattr__(obj, name, dec)
+        return obj
     return obj
 
 
@@ -179,17 +283,24 @@ def _release_refs(obj: Any) -> None:
     elif isinstance(obj, dict):
         for v in obj.values():
             _release_refs(v)
+    else:
+        fields = _walkable_fields(obj)
+        if fields is not None:
+            for v in fields.values():
+                _release_refs(v)
 
 
 def _drain_mailbox(q) -> None:
     """Throw away queued messages, unlinking their shared blocks."""
     while True:
         try:
-            blob = q.get_nowait()
+            item = q.get_nowait()
         except (queue.Empty, OSError, ValueError):
             return
+        if isinstance(item, tuple) and len(item) == 2:  # (epoch, blob) wire format
+            item = item[1]
         try:
-            msg = pickle.loads(blob) if isinstance(blob, bytes) else blob
+            msg = pickle.loads(item) if isinstance(item, bytes) else item
         except Exception:  # pragma: no cover - truncated blob on teardown
             continue
         if isinstance(msg, Message):
@@ -203,6 +314,35 @@ def _drain_registry(registry, names: set) -> None:
             names.add(registry.get())
     except (OSError, ValueError, EOFError):  # pragma: no cover - closing
         pass
+
+
+def _teardown_procs(procs: list, mailboxes: list, results_q, registry, registered: set) -> None:
+    """Join/terminate rank processes and reclaim every transport resource.
+
+    The shared end-of-life sequence of the per-call backend and the
+    pool: pre-drain mailboxes (unblocks child queue feeders + frees
+    shm), give ranks a short grace to exit, terminate survivors (stuck
+    ranks must not wait out receive timeouts), drain + close every
+    queue, then sweep the registry so blocks stranded in killed feeders
+    or never-drained pipes are unlinked.
+    """
+    for q in mailboxes:
+        _drain_mailbox(q)
+    for pr in procs:
+        pr.join(timeout=1.0)
+    for pr in procs:
+        if pr.is_alive():
+            pr.terminate()
+    for pr in procs:
+        if pr.is_alive():
+            pr.join(timeout=10.0)
+    for q in [*mailboxes, results_q]:
+        _drain_mailbox(q)
+        q.close()
+        q.join_thread()
+    _drain_registry(registry, registered)
+    _unlink_registered(registered)
+    registry.close()
 
 
 def _unlink_registered(names: set) -> None:
@@ -254,15 +394,23 @@ class ProcessTransport:
     pickled here rather than lazily in the queue's feeder thread —
     otherwise a sender mutating a small array after ``send`` would leak
     the mutation to the receiver.
+
+    ``epoch`` stamps every message on the wire. Long-lived pool workers
+    bump it per dispatched job, so a message stranded by one SPMD
+    program (sent but never received) can never be matched by a *later*
+    program reusing the same (source, tag) pair — stale messages are
+    discarded on receipt and their shm blocks unlinked. Per-call
+    backends use the constant epoch 0 on both sides.
     """
 
     needs_copy = False
 
-    def __init__(self, mailboxes: list, min_shm_bytes: int, registry=None):
+    def __init__(self, mailboxes: list, min_shm_bytes: int, registry=None, epoch: int = 0):
         self.nranks = len(mailboxes)
         self._mailboxes = mailboxes
         self._min_shm_bytes = int(min_shm_bytes)
         self._registry = registry
+        self.epoch = int(epoch)
 
     def put(self, message: Message) -> None:
         if not (0 <= message.dest < self.nranks):
@@ -279,11 +427,21 @@ class ProcessTransport:
             # into shm blocks — unlink them or they outlive the run
             _release_refs(created)
             raise
-        self._mailboxes[message.dest].put(blob)
+        self._mailboxes[message.dest].put((self.epoch, blob))
 
     def get(self, rank: int, timeout: float) -> Message:
-        msg = pickle.loads(self._mailboxes[rank].get(timeout=timeout))
-        return dataclasses.replace(msg, payload=decode_payload(msg.payload))
+        # one overall deadline: discarding stale-epoch strays must not
+        # restart the clock, or a deadlocked program would wait
+        # (strays + 1) x timeout instead of timeout
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            epoch, blob = self._mailboxes[rank].get(timeout=remaining)
+            msg = pickle.loads(blob)
+            if epoch != self.epoch:  # stranded by an earlier pool job
+                _release_refs(msg.payload)
+                continue
+            return dataclasses.replace(msg, payload=decode_payload(msg.payload))
 
 
 def _describe(exc: BaseException) -> str:
@@ -304,10 +462,17 @@ def _rank_main(
     """Entry point of one rank process."""
     transport = ProcessTransport(mailboxes, min_shm_bytes, registry=registry)
     comm = Comm(transport, rank, cost_model=cost_model, copy_payloads=copy_payloads)
+    created = _RegisteredRefs(registry)
     try:
         result = fn(comm, *args)
-        results_q.put((rank, True, result, report_from_comm(comm)))
+        # results round-trip through the shm codec too: factorization
+        # products (WorkerResult trees of BoxRecord/PartialLU arrays)
+        # travel zero-copy, leaving only control-message-sized pickles
+        # on the result queue
+        payload = encode_payload(result, min_shm_bytes, created)
+        results_q.put((rank, True, payload, report_from_comm(comm)))
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        _release_refs(created)
         results_q.put((rank, False, _describe(exc), None))
     finally:
         _drain_mailbox(mailboxes[rank])
@@ -317,14 +482,22 @@ _AVAILABLE: bool | None = None
 
 
 def process_backend_available() -> bool:
-    """True when this platform can actually allocate shared memory."""
+    """True when this platform can actually allocate shared memory.
+
+    Configuration errors — an invalid or platform-unavailable
+    ``REPRO_VMPI_START_METHOD`` — propagate as :class:`ValueError`
+    instead of being cached as "platform unavailable": a typo'd env var
+    must not masquerade as a missing shared-memory implementation (or
+    silently demote ``auto`` to the thread backend).
+    """
     global _AVAILABLE
+    _pick_start_method()  # raises on a bad override; validated, so the
+    # context for it always exists — only shm allocation needs probing
     if _AVAILABLE is None:
         try:
             shm = _create_shm(16)
             shm.unlink()
             shm.close()
-            multiprocessing.get_context(_pick_start_method())
             _AVAILABLE = True
         except Exception:  # pragma: no cover - platform-dependent
             _AVAILABLE = False
@@ -332,28 +505,77 @@ def process_backend_available() -> bool:
 
 
 def _pick_start_method() -> str:
-    """Prefer fork on Linux (cheap launch, args inherited); elsewhere
-    keep the platform default — macOS lists fork as available but
-    forking after framework/BLAS initialization is unsafe there, which
-    is why CPython switched its default to spawn."""
+    """Resolve the start method: explicit override, else platform default.
+
+    ``REPRO_VMPI_START_METHOD`` wins when set (and must be available on
+    this platform). Otherwise prefer fork on Linux (cheap launch, args
+    inherited); elsewhere keep the platform default — macOS lists fork
+    as available but forking after framework/BLAS initialization is
+    unsafe there, which is why CPython switched its default to spawn.
+    Everything the backend ships across the process boundary (the rank
+    entry point, the SPMD program, its args, queues) is picklable, so
+    any start method is correct — they differ only in launch cost.
+    """
     import sys
 
     methods = multiprocessing.get_all_start_methods()
+    override = vmpi_start_method()
+    if override is not None:
+        if override not in methods:
+            raise ValueError(
+                f"REPRO_VMPI_START_METHOD={override!r} is unavailable on this "
+                f"platform (available: {'/'.join(methods)})"
+            )
+        return override
     if sys.platform == "linux" and "fork" in methods:
         return "fork"
     return multiprocessing.get_start_method(allow_none=False)
 
 
 class ProcessBackend(ExecutionBackend):
-    """One OS process per rank, shared-memory array transport."""
+    """One OS process per rank, shared-memory array transport.
+
+    ``pool`` selects the rank-process lifecycle: ``"persistent"`` (the
+    ``REPRO_VMPI_POOL`` default) dispatches through a long-lived
+    :class:`~repro.vmpi.pool.RankPool` — workers are spawned once and
+    successive ``run`` calls (``factor`` then many ``solve`` s) reuse
+    them; ``"per_call"`` spawns and tears down fresh processes every
+    call. Booleans are accepted as shorthand (``True`` = persistent).
+    """
 
     name = "process"
 
-    def __init__(self, start_method: str | None = None, min_shm_bytes: int | None = None):
+    def __init__(
+        self,
+        start_method: str | None = None,
+        min_shm_bytes: int | None = None,
+        pool: str | bool | None = None,
+    ):
         self.start_method = start_method or _pick_start_method()
         self.min_shm_bytes = (
             vmpi_shm_min_bytes() if min_shm_bytes is None else int(min_shm_bytes)
         )
+        if pool is None:
+            self.pool_mode = vmpi_pool()
+        elif isinstance(pool, bool):
+            self.pool_mode = "persistent" if pool else "per_call"
+        else:
+            from repro.util.config import VMPI_POOL_MODES
+
+            if pool not in VMPI_POOL_MODES:
+                raise ValueError(
+                    f"pool must be one of {'/'.join(VMPI_POOL_MODES)}, got {pool!r}"
+                )
+            self.pool_mode = pool
+        self._pool = None  # pinned RankPool (persistent mode, after first run)
+
+    def __getstate__(self) -> dict:
+        # a live pool (processes, queues) cannot cross pickling — e.g.
+        # a ParallelFactorization carrying this backend; re-acquired
+        # from the registry on the next run
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        return state
 
     def run(
         self,
@@ -367,6 +589,52 @@ class ProcessBackend(ExecutionBackend):
     ) -> SPMDRun:
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
+        if self.pool_mode == "persistent":
+            from repro.vmpi.pool import DispatchEncodeError, get_pool
+
+            # always (re)acquire through the registry: it returns the
+            # same live pool, refreshing its LRU recency so an actively
+            # used pool is never the eviction candidate, and it
+            # replaces dead pools transparently
+            pool = get_pool(nranks, self.start_method, self.min_shm_bytes)
+            self._pool = pool
+            try:
+                return pool.run(
+                    fn,
+                    args,
+                    cost_model=cost_model,
+                    copy_payloads=copy_payloads,
+                    timeout=timeout,
+                )
+            except DispatchEncodeError:
+                # the dispatch payload could not be pickled (closure/
+                # lambda rank program, unpicklable args) — by contract
+                # raised before anything was dispatched, so the pool is
+                # unharmed. Under fork the per-call path still handles
+                # such programs by inheritance, exactly as it did before
+                # pools existed; elsewhere pickling is unavoidable.
+                if self.start_method != "fork":
+                    raise
+        return self._run_per_call(
+            nranks,
+            fn,
+            args,
+            cost_model=cost_model,
+            copy_payloads=copy_payloads,
+            timeout=timeout,
+        )
+
+    def _run_per_call(
+        self,
+        nranks: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        *,
+        cost_model: CostModel | None = None,
+        copy_payloads: bool = True,
+        timeout: float = 3600.0,
+    ) -> SPMDRun:
+        _ensure_resource_tracker()
         ctx = multiprocessing.get_context(self.start_method)
         mailboxes = [ctx.Queue() for _ in range(nranks)]
         results_q = ctx.Queue()
@@ -402,29 +670,14 @@ class ProcessBackend(ExecutionBackend):
             if failures:
                 rank, _ok, desc, _rep = min(failures, key=lambda o: o[0])
                 raise RuntimeError(f"rank {rank} failed: {desc}")
-            results = [outcomes[r][2] for r in range(nranks)]
+            # results came through the shm codec; attach/unlink now.
+            # (On the failure path above, successful ranks' undecoded
+            # blocks are reclaimed by the registry sweep in finally.)
+            results = [decode_payload(outcomes[r][2]) for r in range(nranks)]
             reports: list[RankReport] = [outcomes[r][3] for r in range(nranks)]
             return SPMDRun(results, reports)
         finally:
-            for q in mailboxes:
-                _drain_mailbox(q)  # unblocks child queue feeders + frees shm
-            for pr in procs:
-                pr.join(timeout=1.0)
-            for pr in procs:  # stuck ranks (failed runs): don't wait out recv timeouts
-                if pr.is_alive():
-                    pr.terminate()
-            for pr in procs:
-                if pr.is_alive():
-                    pr.join(timeout=10.0)
-            for q in [*mailboxes, results_q]:
-                _drain_mailbox(q)
-                q.close()
-                q.join_thread()
-            # every rank is gone: unlink orphans of abnormal teardown
-            # (blocks stranded in killed feeders / never-drained pipes)
-            _drain_registry(registry, registered)
-            _unlink_registered(registered)
-            registry.close()
+            _teardown_procs(procs, mailboxes, results_q, registry, registered)
 
     def _collect(
         self,

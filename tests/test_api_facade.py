@@ -193,8 +193,79 @@ def test_sequential_only_methods_reject_parallel(volume):
 
 def test_available_methods_lists_builtins():
     names = available_methods()
-    for name in ("direct", "pcg", "pgmres", "dense_lu", "block_jacobi"):
+    for name in ("direct", "pcg", "pgmres", "dense_lu", "block_jacobi", "cg", "gmres"):
         assert name in names
+
+
+# ----------------------------------------------------------------------
+# unpreconditioned Krylov baselines
+# ----------------------------------------------------------------------
+def test_unpreconditioned_cg_matches_reference(volume):
+    prob, b, x_ref = volume
+    report = solve(prob, b, SolveConfig(method="cg", tol=1e-12))
+    assert report.method == "cg" and report.converged
+    assert report.iterations > 0
+    assert report.memory_bytes == 0  # identity preconditioner stores nothing
+    assert np.linalg.norm(report.x - x_ref) / np.linalg.norm(x_ref) < 1e-9
+    # unpreconditioned needs more iterations than RS-S-preconditioned
+    pcg = solve(prob, b, SolveConfig(method="pcg", tol=1e-12))
+    assert report.iterations >= pcg.iterations
+
+
+def test_unpreconditioned_gmres_matches_reference(boundary):
+    prob, b, x_ref = boundary
+    report = solve(prob, b, SolveConfig(method="gmres", tol=1e-10))
+    assert report.method == "gmres" and report.converged
+    assert report.iterations > 0
+    assert np.linalg.norm(report.x - x_ref) / np.linalg.norm(x_ref) < 1e-7
+
+
+def test_cg_rejects_nonsymmetric(boundary):
+    prob, b, _ = boundary
+    with pytest.raises(ValueError, match="symmetric.*gmres"):
+        solve(prob, b, SolveConfig(method="cg"))
+
+
+def test_unpreconditioned_methods_are_sequential_only(volume):
+    prob, b, _ = volume
+    for method in ("cg", "gmres"):
+        with pytest.raises(ValueError, match=f"{method}.*sequential"):
+            solve(prob, b, SolveConfig(method=method, execution="thread"))
+
+
+# ----------------------------------------------------------------------
+# SolveReport.to_json
+# ----------------------------------------------------------------------
+def test_report_to_json_roundtrips(volume):
+    import json
+
+    prob, b, _ = volume
+    report = solve(prob, b, SolveConfig(method="pcg", tol=1e-10))
+    data = json.loads(report.to_json())
+    assert data["method"] == "pcg"
+    assert data["execution"] == "sequential"
+    assert data["n"] == prob.n and data["nrhs"] == 1
+    assert data["iterations"] == report.iterations
+    assert data["converged"] is True
+    assert data["relres"] == report.relres
+    assert data["memory_bytes"] == report.memory_bytes
+    assert data["residual_history"] == [float(r) for r in report.krylov.residual_history]
+    # without relres evaluation the record is free (no operator apply)
+    lazy = json.loads(
+        solve(prob, b, SolveConfig(method="direct")).to_json(include_relres=False)
+    )
+    assert "relres" not in lazy and "residual_history" not in lazy
+
+
+def test_report_to_json_parallel_fields(volume):
+    import json
+
+    prob, b, _ = volume
+    report = solve(prob, b, SolveConfig(execution="thread", ranks=4))
+    data = json.loads(report.to_json(include_relres=False))
+    assert data["execution"] == "thread"
+    assert data["sim_t_fact"] > 0
+    assert data["messages"] > 0 and data["comm_bytes"] > 0
 
 
 def test_register_custom_strategy(volume):

@@ -87,3 +87,45 @@ def test_vmpi_shm_min_bytes_config(monkeypatch):
     monkeypatch.setenv("REPRO_VMPI_SHM_MIN_BYTES", "-1")
     with pytest.raises(ValueError):
         vmpi_shm_min_bytes()
+
+
+def test_vmpi_pool_config(monkeypatch):
+    from repro.util.config import vmpi_pool
+
+    monkeypatch.delenv("REPRO_VMPI_POOL", raising=False)
+    assert vmpi_pool() == "persistent"
+    monkeypatch.setenv("REPRO_VMPI_POOL", "Per-Call")
+    assert vmpi_pool() == "per_call"
+    monkeypatch.setenv("REPRO_VMPI_POOL", "per_call")
+    assert vmpi_pool() == "per_call"
+    monkeypatch.setenv("REPRO_VMPI_POOL", "")
+    assert vmpi_pool() == "persistent"
+    monkeypatch.setenv("REPRO_VMPI_POOL", "leaky")
+    with pytest.raises(ValueError):
+        vmpi_pool()
+
+
+def test_vmpi_pool_max_config(monkeypatch):
+    from repro.util.config import vmpi_pool_max
+
+    monkeypatch.delenv("REPRO_VMPI_POOL_MAX", raising=False)
+    assert vmpi_pool_max() == 4
+    monkeypatch.setenv("REPRO_VMPI_POOL_MAX", "1")
+    assert vmpi_pool_max() == 1
+    monkeypatch.setenv("REPRO_VMPI_POOL_MAX", "0")
+    with pytest.raises(ValueError):
+        vmpi_pool_max()
+
+
+def test_vmpi_start_method_config(monkeypatch):
+    from repro.util.config import vmpi_start_method
+
+    monkeypatch.delenv("REPRO_VMPI_START_METHOD", raising=False)
+    assert vmpi_start_method() is None
+    monkeypatch.setenv("REPRO_VMPI_START_METHOD", "Spawn")
+    assert vmpi_start_method() == "spawn"
+    monkeypatch.setenv("REPRO_VMPI_START_METHOD", "")
+    assert vmpi_start_method() is None
+    monkeypatch.setenv("REPRO_VMPI_START_METHOD", "teleport")
+    with pytest.raises(ValueError):
+        vmpi_start_method()

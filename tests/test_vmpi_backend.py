@@ -153,6 +153,130 @@ def test_shm_codec_noncontiguous_and_isolation():
     assert base[0, 0] == 0.0
 
 
+@needs_process
+def test_shm_codec_zero_dim_rides_pickle_channel():
+    """0-d arrays stay on the pickle channel deterministically (they are
+    control-message sized; SharedMemory blocks are for real buffers)."""
+    scalar = np.array(3.5)
+    encoded = encode_payload({"s": scalar}, min_bytes=0)
+    assert encoded["s"] is scalar
+    assert decode_payload(encoded)["s"] == 3.5
+
+
+@needs_process
+def test_shm_codec_preserves_fortran_order():
+    """F-contiguous arrays (LAPACK LU factors) must come back
+    F-contiguous: layout normalization would route later BLAS calls
+    down different kernels and break bitwise cross-backend parity."""
+    f_arr = np.asfortranarray(np.arange(10000, dtype=np.float64).reshape(100, 100))
+    c_arr = np.ascontiguousarray(f_arr)
+    dec_f, dec_c = decode_payload(encode_payload((f_arr, c_arr), min_bytes=0))
+    assert dec_f.flags.f_contiguous and not dec_f.flags.c_contiguous
+    assert dec_c.flags.c_contiguous
+    np.testing.assert_array_equal(dec_f, f_arr)
+
+
+# ----------------------------------------------------------------------
+# dataclass payloads (WorkerResult / BoxRecord / PartialLU trees)
+# ----------------------------------------------------------------------
+def _make_box_record():
+    from repro.core.skel import BoxRecord
+    from repro.linalg.lu import PartialLU
+
+    rng = np.random.default_rng(7)
+    return BoxRecord(
+        box=(1, 2),
+        level=3,
+        redundant=np.arange(24, dtype=np.int64),
+        skeleton=np.arange(24, 48, dtype=np.int64),
+        cluster=np.arange(48, 120, dtype=np.int64),
+        T=rng.standard_normal((24, 24)),
+        lu=PartialLU(rng.standard_normal((24, 24)) + 24 * np.eye(24)),
+        x_cr=rng.standard_normal((72, 24)),
+        x_rc=rng.standard_normal((24, 72)),
+        cluster_segments=[((1, 2), 0, 24), ((1, 3), 24, 72)],
+    )
+
+
+@needs_process
+def test_shm_codec_walks_dataclass_payloads():
+    """BoxRecord (a dataclass holding a PartialLU) travels with its big
+    arrays carved into shm blocks; the original is never mutated."""
+    rec = _make_box_record()
+    t_before, lu_before = rec.T, rec.lu._lu
+    created = []
+    enc = encode_payload(rec, min_bytes=256, created=created)
+    assert enc is not rec and created  # rebuilt along changed paths only
+    assert rec.T is t_before and rec.lu._lu is lu_before  # source intact
+    assert not isinstance(enc.T, np.ndarray)
+    assert not isinstance(enc.lu._lu, np.ndarray)  # __shm_walk__ opt-in
+    dec = decode_payload(pickle.loads(pickle.dumps(enc)))
+    np.testing.assert_array_equal(dec.T, rec.T)
+    np.testing.assert_array_equal(dec.x_cr, rec.x_cr)
+    np.testing.assert_array_equal(dec.lu._lu, rec.lu._lu)
+    assert dec.lu._lu.flags.f_contiguous == rec.lu._lu.flags.f_contiguous
+    assert dec.cluster_segments == rec.cluster_segments
+    # the reassembled PartialLU still solves
+    rhs = np.ones(24)
+    np.testing.assert_array_equal(dec.lu.solve_left(rhs), rec.lu.solve_left(rhs))
+
+
+@needs_process
+def test_shm_codec_dataclass_edge_fields_ride_pickle_channel():
+    """Edge cases inside walked dataclasses — empty, 0-d, object-dtype,
+    and structured fields — deterministically stay on the pickle
+    channel instead of raising."""
+    from dataclasses import dataclass, field
+
+    @dataclass
+    class Payload:
+        empty: np.ndarray = field(default_factory=lambda: np.empty(0))
+        zero_d: np.ndarray = field(default_factory=lambda: np.array(1.5))
+        objs: np.ndarray = field(
+            default_factory=lambda: np.array([{"a": 1}, None], dtype=object)
+        )
+        rec: np.ndarray = field(
+            default_factory=lambda: np.zeros(500, dtype=[("a", "f8"), ("b", "i8")])
+        )
+        big: np.ndarray = field(default_factory=lambda: np.arange(4096.0))
+
+    p = Payload()
+    enc = encode_payload(p, min_bytes=0)
+    assert enc.empty is p.empty and enc.zero_d is p.zero_d
+    assert enc.objs is p.objs and enc.rec is p.rec
+    assert not isinstance(enc.big, np.ndarray)  # only the real buffer carved
+    dec = decode_payload(enc)
+    np.testing.assert_array_equal(dec.big, p.big)
+
+
+@needs_process
+def test_shm_codec_identity_on_arrayless_payloads():
+    """Payloads without carvable arrays pass through by identity — no
+    container/dataclass rebuilds on the fast path."""
+    rec = _make_box_record()
+    payload = {"tag": 7, "coords": [(1, 2), (3, 4)], "rec": rec}
+    assert encode_payload(payload, min_bytes=10**9) is payload
+    assert decode_payload(payload) is payload
+
+
+def test_worker_result_shm_codec_shrinks_pickle_channel(factor_pair):
+    """Acceptance probe: encoding a WorkerResult through the codec drops
+    the pickle-channel byte count to control-message size — the array
+    payload (records, LU factors) travels out-of-band."""
+    from repro.vmpi.process_backend import _release_refs
+
+    workers = factor_pair["thread"][0].workers
+    raw = len(pickle.dumps(workers, protocol=pickle.HIGHEST_PROTOCOL))
+    created = []
+    enc = encode_payload(workers, min_bytes=2048, created=created)
+    try:
+        carved = len(pickle.dumps(enc, protocol=pickle.HIGHEST_PROTOCOL))
+        assert created, "no arrays were carved out of the factorization"
+        assert carved < raw / 2, (carved, raw)
+    finally:
+        _release_refs(enc)  # unlink the blocks this probe carved
+
+
 # ----------------------------------------------------------------------
 # SPMD parity
 # ----------------------------------------------------------------------
@@ -334,14 +458,126 @@ def test_unlink_registered_sweeps_orphans():
 
 
 def _unpicklable_prog(comm):
-    return lambda: 1  # dies in the child's queue feeder, not in fn
+    return lambda: 1  # unpicklable: dies shipping the result, not in fn
 
 
 @needs_process
 def test_process_backend_unpicklable_result_fails_fast():
-    """A result the queue cannot pickle must raise, not hang to timeout."""
+    """Per-call: a result the queue cannot pickle dies in the child's
+    feeder thread; the parent must detect the silent exit, not hang."""
     with pytest.raises(RuntimeError, match="without reporting a result"):
-        run_spmd(2, _unpicklable_prog, backend="process", timeout=30.0)
+        run_spmd(
+            2, _unpicklable_prog, backend=ProcessBackend(pool=False), timeout=30.0
+        )
+
+
+@needs_process
+def test_pool_unpicklable_result_reported_as_rank_failure():
+    """Pool workers pre-pickle outcomes, so an unpicklable result is a
+    clean rank failure (with the pickling error named) — the worker
+    survives to take the next dispatch."""
+    be = ProcessBackend(pool=True)
+    with pytest.raises(RuntimeError, match="rank [01] failed"):
+        run_spmd(2, _unpicklable_prog, backend=be, timeout=30.0)
+    # the pool is still usable afterwards
+    assert run_spmd(2, _empty_send_prog, backend=be).results[1] == 0
+
+
+# ----------------------------------------------------------------------
+# spawn start method: everything must survive pickling
+# ----------------------------------------------------------------------
+def _spawn_available() -> bool:
+    import multiprocessing
+
+    return "spawn" in multiprocessing.get_all_start_methods()
+
+
+needs_spawn = pytest.mark.skipif(
+    not _spawn_available(), reason="spawn start method unavailable"
+)
+
+
+@needs_process
+@needs_spawn
+def test_process_backend_spawn_parity():
+    """Under spawn nothing is inherited: the rank entry point, program,
+    args, and queues all cross by pickling. Results and counters must
+    match the thread backend exactly."""
+    t = run_spmd(2, _mutate_after_send_prog, backend="thread")
+    p = run_spmd(
+        2, _mutate_after_send_prog, backend=ProcessBackend(start_method="spawn", pool=False)
+    )
+    assert t.results == p.results
+    for rt, rp in zip(t.reports, p.reports):
+        assert (rt.messages_sent, rt.bytes_sent) == (rp.messages_sent, rp.bytes_sent)
+
+
+@needs_process
+@needs_spawn
+def test_start_method_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_VMPI_START_METHOD", "spawn")
+    assert ProcessBackend().start_method == "spawn"
+    monkeypatch.setenv("REPRO_VMPI_START_METHOD", "carrier-pigeon")
+    with pytest.raises(ValueError):
+        ProcessBackend()
+    # a config error must surface as such — not be cached as "platform
+    # has no shared memory" by the availability probe
+    with pytest.raises(ValueError):
+        process_backend_available()
+    # an explicit constructor argument wins over the environment
+    monkeypatch.setenv("REPRO_VMPI_START_METHOD", "spawn")
+    assert ProcessBackend(start_method="fork").start_method == "fork"
+    assert process_backend_available()
+
+
+# ----------------------------------------------------------------------
+# auto backend: affinity-aware core budget
+# ----------------------------------------------------------------------
+def test_effective_cpu_count_honors_affinity(monkeypatch):
+    import os
+
+    from repro.vmpi.backend import effective_cpu_count
+
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0}, raising=True)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert effective_cpu_count() == 1
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=True)
+        assert effective_cpu_count() == 2
+    # platforms without affinity fall back to cpu_count
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 3)
+    assert effective_cpu_count() == 3
+
+
+def test_auto_backend_single_core_cpuset_picks_thread(monkeypatch):
+    """A container restricted to one core must not pick the process
+    backend, no matter how many cores the host machine reports."""
+    import os
+
+    from repro.vmpi.backend import auto_backend_name
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {5}, raising=True)
+        assert auto_backend_name() == "thread"
+    else:  # pragma: no cover - non-Linux
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert auto_backend_name() == "thread"
+
+
+def test_auto_backend_multi_core_picks_process(monkeypatch):
+    import os
+
+    from repro.vmpi.backend import auto_backend_name
+
+    if not process_backend_available():
+        pytest.skip("process backend unavailable")
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=True)
+    else:  # pragma: no cover - non-Linux
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    assert auto_backend_name() == "process"
 
 
 # ----------------------------------------------------------------------

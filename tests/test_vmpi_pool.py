@@ -1,0 +1,383 @@
+"""Persistent rank-pool tests: spawn-once reuse, cleanliness, recovery.
+
+The acceptance contract of the pool: after the first dispatch through a
+``Solver``/``ParallelFactorization``, no further process spawns happen
+(probed via ``RankPool.spawn_count``), results stay bitwise identical
+to the per-call path, and repeated dispatches leave zero orphaned
+``/dev/shm`` blocks.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro import SolveConfig, Solver
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.parallel import parallel_srs_factor
+from repro.vmpi import ProcessBackend, process_backend_available, run_spmd
+from repro.vmpi.pool import RankPool, active_pools
+
+needs_process = pytest.mark.skipif(
+    not process_backend_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+pytestmark = needs_process
+
+
+def _shm_blocks() -> set:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _echo_prog(comm, scale):
+    data = np.arange(3000, dtype=np.float64) * (comm.rank + 1) * scale
+    total = comm.allreduce(float(data.sum()), lambda a, b: a + b)
+    peer = comm.rank ^ 1
+    comm.send(data, peer, tag=5)
+    mirror = comm.recv(peer, tag=5)
+    return total, float(mirror.sum())
+
+
+def _pid_prog(comm):
+    return os.getpid()
+
+
+def _fire_and_forget_prog(comm, value):
+    """Unbalanced on purpose: rank 0's message is never received."""
+    if comm.rank == 0:
+        comm.send(np.full(4000, value), 1, tag=99)
+    return comm.rank
+
+
+def _recv_prog(comm, value):
+    if comm.rank == 0:
+        comm.send(np.full(4000, float(value)), 1, tag=99)
+        return None
+    return float(comm.recv(0, tag=99)[0])
+
+
+def _partial_boom_prog(comm):
+    if comm.rank == 0:
+        raise ValueError("boom")
+    return comm.rank
+
+
+# ----------------------------------------------------------------------
+# dispatch reuse
+# ----------------------------------------------------------------------
+def test_default_pool_mode_is_persistent(monkeypatch):
+    monkeypatch.delenv("REPRO_VMPI_POOL", raising=False)
+    assert ProcessBackend().pool_mode == "persistent"
+
+
+def test_run_spmd_reuses_one_pool():
+    before = _shm_blocks()
+    be = ProcessBackend(pool=True)
+    r1 = run_spmd(2, _echo_prog, 1.0, backend=be)
+    pool = be._pool
+    assert pool is not None and pool.alive
+    spawns = pool.spawn_count
+    assert spawns == 2
+    pids1 = run_spmd(2, _pid_prog, backend=be).results
+    pids2 = run_spmd(2, _pid_prog, backend=be).results
+    assert pids1 == pids2  # the same worker processes served both jobs
+    assert pool.spawn_count == spawns  # and nothing was respawned
+    r2 = run_spmd(2, _echo_prog, 1.0, backend=be)
+    assert r1.results == r2.results
+    assert _shm_blocks() - before == set()
+
+
+def test_string_spec_shares_the_registry_pool():
+    """Every ``backend="process"`` resolution lands on the same cached
+    pool — reuse does not require holding a backend instance."""
+    run_spmd(2, _echo_prog, 1.0, backend="process")
+    pools = [p for p in active_pools() if p.nranks == 2]
+    assert pools
+    spawns = {id(p): p.spawn_count for p in pools}
+    run_spmd(2, _echo_prog, 2.0, backend="process")
+    for p in pools:
+        assert p.spawn_count == spawns[id(p)]
+
+
+def test_concurrent_dispatches_serialize_safely():
+    """run_spmd from several threads at once: jobs must serialize on
+    the shared pool without cross-talk (the per-call path was reentrant
+    by construction; the pool must not regress that)."""
+    import threading
+
+    be = ProcessBackend(pool=True)
+    results: dict[int, object] = {}
+
+    def dispatch(i: int) -> None:
+        results[i] = run_spmd(2, _echo_prog, float(i + 1), backend=be).results
+
+    threads = [threading.Thread(target=dispatch, args=(i,)) for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert sorted(results) == [0, 1, 2]
+    for i, res in results.items():
+        expected = run_spmd(2, _echo_prog, float(i + 1), backend="thread").results
+        assert res == expected
+
+
+def test_closure_program_falls_back_to_per_call_on_fork():
+    """A closure/lambda rank program cannot ride the pool's pickled
+    dispatch, but under fork the per-call path still runs it by
+    inheritance — exactly the pre-pool behavior."""
+    be = ProcessBackend(pool=True)
+    if be.start_method != "fork":
+        pytest.skip("fallback only exists where fork inheritance works")
+    local = np.arange(100.0)
+
+    def prog(comm):  # closure over `local`: unpicklable by reference
+        return float(local.sum()) + comm.rank
+
+    run = run_spmd(2, prog, backend=be)
+    assert run.results == [4950.0, 4951.0]
+
+
+def test_per_call_env_opt_out(monkeypatch):
+    monkeypatch.setenv("REPRO_VMPI_POOL", "per_call")
+    be = ProcessBackend()
+    assert be.pool_mode == "per_call"
+    run = run_spmd(2, _echo_prog, 1.0, backend=be)
+    assert be._pool is None  # no pool was created or touched
+    assert run.results[0][0] == run.results[1][0]
+
+
+# ----------------------------------------------------------------------
+# factor + repeated solve through one Solver (the acceptance scenario)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def solver_runs():
+    prob = LaplaceVolumeProblem(32)
+    rng = np.random.default_rng(11)
+    bs = [rng.standard_normal(prob.n) for _ in range(3)]
+    before = _shm_blocks()
+    solver = Solver(
+        prob,
+        SolveConfig(
+            method="direct",
+            execution="process",
+            ranks=4,
+            srs=SRSOptions(tol=1e-9, leaf_size=32),
+        ),
+    )
+    reports = [solver.solve(b) for b in bs]
+    fact = solver.factorization
+    return dict(
+        prob=prob, bs=bs, solver=solver, fact=fact, reports=reports, before=before
+    )
+
+
+def test_solver_pool_spawns_once(solver_runs):
+    """Second and subsequent dispatches (factor job 1, solve jobs 2..4)
+    perform no process spawns."""
+    fact = solver_runs["fact"]
+    pool = fact.backend._pool
+    assert pool is not None and pool.alive
+    assert pool.spawn_count == 4  # exactly one spawn per rank, ever
+    assert pool.jobs_run >= 4  # 1 factor + 3 solves through those ranks
+
+
+def test_solver_pool_no_shm_orphans(solver_runs):
+    assert _shm_blocks() - solver_runs["before"] == set()
+
+
+def test_solver_pool_bitwise_matches_per_call(solver_runs):
+    prob, bs = solver_runs["prob"], solver_runs["bs"]
+    fact_pc = parallel_srs_factor(
+        prob.kernel,
+        4,
+        opts=SRSOptions(tol=1e-9, leaf_size=32),
+        backend=ProcessBackend(pool=False),
+    )
+    for b, report in zip(bs, solver_runs["reports"]):
+        assert np.array_equal(report.x, fact_pc.solve(b))
+
+
+def test_solver_pool_counters_match_thread(solver_runs):
+    prob, bs = solver_runs["prob"], solver_runs["bs"]
+    fact_th = parallel_srs_factor(
+        prob.kernel, 4, opts=SRSOptions(tol=1e-9, leaf_size=32), backend="thread"
+    )
+    fact = solver_runs["fact"]
+    for a, c in zip(fact_th.factor_run.reports, fact.factor_run.reports):
+        assert (a.messages_sent, a.bytes_sent) == (c.messages_sent, c.bytes_sent)
+    fact_th.solve(bs[-1])
+    assert fact_th.last_solve_run.total_messages == fact.last_solve_run.total_messages
+    assert fact_th.last_solve_run.total_bytes == fact.last_solve_run.total_bytes
+
+
+# ----------------------------------------------------------------------
+# cross-job isolation and failure recovery
+# ----------------------------------------------------------------------
+def test_stale_messages_cannot_cross_jobs():
+    """A message stranded by job k (sent, never received) must not be
+    matched by job k+1 reusing the same (source, tag) — the epoch stamp
+    discards it and unlinks its block."""
+    before = _shm_blocks()
+    be = ProcessBackend(pool=True)
+    run_spmd(2, _fire_and_forget_prog, -1.0, backend=be)
+    got = run_spmd(2, _recv_prog, 42.0, backend=be).results[1]
+    assert got == 42.0  # job 2's payload, not job 1's strays
+    assert _shm_blocks() - before == set()
+
+
+def test_pool_survives_clean_rank_failure():
+    before = _shm_blocks()
+    be = ProcessBackend(pool=True)
+    with pytest.raises(RuntimeError, match="rank 0 failed"):
+        run_spmd(2, _partial_boom_prog, backend=be)
+    pool = be._pool
+    assert pool.alive  # every rank reported, workers idled: pool kept
+    spawns = pool.spawn_count
+    assert run_spmd(2, _pid_prog, backend=be).results  # still dispatches
+    assert pool.spawn_count == spawns
+    assert _shm_blocks() - before == set()
+
+
+def test_pool_restarts_after_worker_death():
+    before = _shm_blocks()
+    pool = RankPool(2, ProcessBackend().start_method, 2048)
+    try:
+        run = pool.run(_pid_prog, ())
+        assert len(run.results) == 2 and pool.spawn_count == 2
+        pool._procs[0].terminate()
+        pool._procs[0].join(timeout=10.0)
+        assert not pool.alive
+        run = pool.run(_pid_prog, ())  # transparently respawns
+        assert len(run.results) == 2 and pool.spawn_count == 4
+    finally:
+        pool.shutdown()
+    assert _shm_blocks() - before == set()
+
+
+def test_revived_registry_pool_reclaims_or_retires():
+    """A registry pool revived after a concurrent idle-eviction must
+    reclaim its slot when free — and self-retire after its job when a
+    live replacement owns the slot, never idling unowned workers."""
+    from repro.vmpi.pool import get_pool
+
+    start = ProcessBackend(pool=False).start_method
+    pool = get_pool(2, start, 3333)
+    assert pool._in_registry and pool._origin_registry
+    pool.shutdown()  # simulates the eviction: deregistered, workers down
+    assert not pool._in_registry and not pool.alive
+    run = pool.run(_pid_prog, ())  # revival; slot free -> reclaimed
+    assert len(run.results) == 2
+    assert pool._in_registry and pool.alive
+    pool.shutdown()
+    replacement = get_pool(2, start, 3333)  # live replacement takes the slot
+    try:
+        run = pool.run(_pid_prog, ())  # old pool revives, runs, retires
+        assert len(run.results) == 2
+        assert not pool._in_registry and not pool.alive
+        assert replacement.alive and replacement._in_registry
+    finally:
+        replacement.shutdown()
+
+
+def test_pool_registry_lru_eviction(monkeypatch):
+    from repro.vmpi.pool import get_pool
+
+    monkeypatch.setenv("REPRO_VMPI_POOL_MAX", "1")
+    start = ProcessBackend().start_method
+    a = get_pool(2, start, 1111)
+    assert a.alive
+    b = get_pool(2, start, 2222)
+    assert b.alive
+    assert not a.alive  # evicted and shut down
+    assert a not in active_pools() and b in active_pools()
+    b.shutdown()
+
+
+def test_pool_shutdown_reclaims_everything():
+    before = _shm_blocks()
+    pool = RankPool(2, ProcessBackend().start_method, 2048)
+    try:
+        pool.run(_echo_prog, (1.0,))
+        assert pool.alive
+    finally:
+        pool.shutdown()
+    assert not pool.alive
+    assert _shm_blocks() - before == set()
+
+
+# ----------------------------------------------------------------------
+# interpreter exit
+# ----------------------------------------------------------------------
+_EXIT_SCRIPT = """
+import numpy as np
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro import SolveConfig, Solver
+
+def main():
+    prob = LaplaceVolumeProblem(32)
+    solver = Solver(prob, SolveConfig(
+        method="direct", execution="process", ranks=4,
+        srs=SRSOptions(tol=1e-6, leaf_size=32)))
+    r1 = solver.solve(prob.random_rhs(seed=1))
+    r2 = solver.solve(prob.random_rhs(seed=2))
+    pool = solver.factorization.backend._pool
+    assert pool.spawn_count == 4, pool.spawn_count
+    print("OK", r1.x.shape[0], r2.x.shape[0])
+
+if __name__ == "__main__":
+    main()
+"""
+
+
+def test_pool_interpreter_exit_is_clean(tmp_path):
+    """Exiting with a live pool must terminate the workers and leave no
+    shm blocks and no resource-tracker complaints."""
+    script = tmp_path / "pool_exit.py"
+    script.write_text(_EXIT_SCRIPT)
+    before = _shm_blocks()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(repro.__file__), os.pardir)
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    out = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.startswith("OK")
+    assert "leaked" not in out.stderr, out.stderr  # resource_tracker noise
+    assert _shm_blocks() - before == set()
+
+
+# ----------------------------------------------------------------------
+# spawn start method through the pool
+# ----------------------------------------------------------------------
+def test_pool_amortizes_spawn_start_method():
+    import multiprocessing
+
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("spawn start method unavailable")
+    before = _shm_blocks()
+    pool = RankPool(2, "spawn", 2048)
+    try:
+        r1 = pool.run(_echo_prog, (1.0,))
+        r2 = pool.run(_echo_prog, (1.0,))
+        assert r1.results == r2.results
+        assert pool.spawn_count == 2  # one interpreter boot per rank, total
+        assert pool.jobs_run == 2
+    finally:
+        pool.shutdown()
+    assert _shm_blocks() - before == set()
