@@ -1,11 +1,15 @@
-"""Figure 8: strong and weak scalability of the Helmholtz factorization."""
+"""Figure 8: strong and weak scalability of the Helmholtz factorization.
+
+Driven through the unified facade, exactly like Figure 6.
+"""
 
 import pytest
 
+import repro
 from common import SCALE, save_table
+from repro.api import SolveConfig
 from repro.apps import ScatteringProblem
 from repro.core import SRSOptions
-from repro.parallel import parallel_srs_factor
 from repro.parallel.ownership import max_ranks_for_tree
 from repro.reporting import ScalingSeries, Table, ascii_loglog, format_seconds
 from repro.tree import QuadTree
@@ -22,6 +26,11 @@ def _pmax(m: int) -> int:
     return max_ranks_for_tree(QuadTree.for_leaf_size(prob.points, 64).nlevels)
 
 
+def _t_fact(prob, p: int) -> float:
+    cfg = SolveConfig(method="direct", execution="thread", ranks=p, srs=OPTS)
+    return repro.Solver(prob, cfg).factorization.t_fact
+
+
 @pytest.fixture(scope="module")
 def scaling():
     strong = []
@@ -31,7 +40,7 @@ def scaling():
         for p in P_SWEEP:
             if p > _pmax(m):
                 continue
-            s.add(p, parallel_srs_factor(prob.kernel, p, opts=OPTS).t_fact)
+            s.add(p, _t_fact(prob, p))
         strong.append(s)
     weak = ScalingSeries(f"N/p={WEAK_BASE_M}^2")
     for p in P_SWEEP:
@@ -39,7 +48,7 @@ def scaling():
         if p > _pmax(m):
             continue
         prob = ScatteringProblem(m, KAPPA)
-        weak.add(p, parallel_srs_factor(prob.kernel, p, opts=OPTS).t_fact)
+        weak.add(p, _t_fact(prob, p))
 
     t = Table("Figure 8a: Helmholtz strong scaling (t_fact)", ["series", "p", "t_fact", "efficiency"])
     for s in strong:
@@ -58,9 +67,7 @@ def scaling():
 
 def test_fig8_generated(scaling, benchmark):
     prob = ScatteringProblem(STRONG_M[0], KAPPA)
-    benchmark.pedantic(
-        lambda: parallel_srs_factor(prob.kernel, 4, opts=OPTS), rounds=1, iterations=1
-    )
+    benchmark.pedantic(lambda: _t_fact(prob, 4), rounds=1, iterations=1)
     strong, weak = scaling
     assert strong and weak.times
 
@@ -80,12 +87,6 @@ def test_fig8_speedup_better_than_laplace():
     m = STRONG_M[0]
     lp = LaplaceVolumeProblem(m)
     hp = ScatteringProblem(m, KAPPA)
-    sp_l = (
-        parallel_srs_factor(lp.kernel, 1, opts=OPTS).t_fact
-        / parallel_srs_factor(lp.kernel, 4, opts=OPTS).t_fact
-    )
-    sp_h = (
-        parallel_srs_factor(hp.kernel, 1, opts=OPTS).t_fact
-        / parallel_srs_factor(hp.kernel, 4, opts=OPTS).t_fact
-    )
+    sp_l = _t_fact(lp, 1) / _t_fact(lp, 4)
+    sp_h = _t_fact(hp, 1) / _t_fact(hp, 4)
     assert sp_h > sp_l * 0.8  # at least comparable; typically greater

@@ -1,0 +1,149 @@
+"""Serving throughput: cached+batched solves vs naive per-request calls.
+
+The serving claim under test — the whole point of ``repro.service`` —
+is that a stream of requests against one operator costs *one*
+factorization plus cheap solves, while the naive client pays the
+factorization on every request. This bench fires the same request
+stream three ways:
+
+* **naive** — one ``repro.solve`` per request (factor + solve each
+  time): what a stateless script runner pays.
+* **service (strict)** — ``SolveService`` with the cache and the rhs
+  batcher in ``strict`` parity mode: bitwise-identical solutions to
+  the naive path.
+* **service (block)** — same, with coalesced ``(N, nrhs)`` block
+  applies (rounding-level differences only).
+
+Writes ``BENCH_service_throughput.json`` at the repository root (the
+CI artifact) and asserts the acceptance bar: **>= 5x** strict-mode
+throughput with bitwise-identical solutions.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from common import SCALE, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.core import SRSOptions
+from repro.reporting import Table, format_seconds
+from repro.service import SolveService
+
+JSON_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_service_throughput.json"
+)
+
+M = {0: 32, 1: 64, 2: 96}[SCALE]
+REQUESTS = {0: 24, 1: 48, 2: 64}[SCALE]
+OPTS = SRSOptions(tol=1e-6, leaf_size=64)
+#: acceptance bar: cached+batched must beat naive per-request by this
+MIN_SPEEDUP = 5.0
+
+
+def _service_run(prob, rhs, mode: str):
+    with SolveService(
+        workers=8, batch_window=0.005, batch_max=32, batch_mode=mode
+    ) as svc:
+        t0 = time.perf_counter()
+        futures = [svc.submit(prob, b, srs=OPTS) for b in rhs]
+        xs = [f.result().x for f in futures]
+        elapsed = time.perf_counter() - t0
+        stats = svc.stats()
+    return xs, elapsed, stats
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    prob = LaplaceVolumeProblem(M)
+    rhs = [prob.random_rhs(i) for i in range(REQUESTS)]
+
+    t0 = time.perf_counter()
+    naive_xs = [repro.solve(prob, b, srs=OPTS).x for b in rhs]
+    t_naive = time.perf_counter() - t0
+
+    strict_xs, t_strict, strict_stats = _service_run(prob, rhs, "strict")
+    block_xs, t_block, block_stats = _service_run(prob, rhs, "block")
+
+    bitwise = all(np.array_equal(a, b) for a, b in zip(naive_xs, strict_xs))
+    block_rel = max(
+        float(np.linalg.norm(a - b) / np.linalg.norm(a))
+        for a, b in zip(naive_xs, block_xs)
+    )
+
+    result = {
+        "n": prob.n,
+        "requests": REQUESTS,
+        "scale": SCALE,
+        "t_naive": t_naive,
+        "t_service_strict": t_strict,
+        "t_service_block": t_block,
+        "speedup_strict": t_naive / t_strict,
+        "speedup_block": t_naive / t_block,
+        "bitwise_identical_strict": bitwise,
+        "block_max_rel_diff": block_rel,
+        "strict_stats": strict_stats.to_dict(),
+        "block_stats": block_stats.to_dict(),
+    }
+    with open(JSON_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+
+    table = Table(
+        f"Service throughput: {REQUESTS} requests, N = {M}^2 (wall-clock)",
+        ["path", "total", "req/s", "speedup", "factorizations", "parity"],
+    )
+    table.add_row(
+        "naive repro.solve", format_seconds(t_naive),
+        f"{REQUESTS / t_naive:.1f}", "1.0", REQUESTS, "exact",
+    )
+    table.add_row(
+        "service (strict)", format_seconds(t_strict),
+        f"{REQUESTS / t_strict:.1f}", f"{t_naive / t_strict:.1f}",
+        strict_stats.factorizations, "bitwise" if bitwise else "BROKEN",
+    )
+    table.add_row(
+        "service (block)", format_seconds(t_block),
+        f"{REQUESTS / t_block:.1f}", f"{t_naive / t_block:.1f}",
+        block_stats.factorizations, f"rel {block_rel:.1e}",
+    )
+    save_table("service_throughput", table.render())
+    return result
+
+
+def test_service_bench_generated(sweep, benchmark):
+    prob = LaplaceVolumeProblem(M)
+    rhs = [prob.random_rhs(i) for i in range(4)]
+    benchmark.pedantic(
+        lambda: _service_run(prob, rhs, "strict"), rounds=1, iterations=1
+    )
+    assert os.path.exists(JSON_PATH)
+
+
+def test_cached_batched_speedup_at_least_5x(sweep):
+    """The acceptance bar: one factorization amortized over the stream."""
+    assert sweep["speedup_strict"] >= MIN_SPEEDUP, (
+        f"service strict mode only {sweep['speedup_strict']:.1f}x over naive"
+    )
+
+
+def test_strict_solutions_bitwise_identical(sweep):
+    assert sweep["bitwise_identical_strict"]
+
+
+def test_block_solutions_rounding_close(sweep):
+    assert sweep["block_max_rel_diff"] < 1e-12
+
+
+def test_one_factorization_per_stream(sweep):
+    assert sweep["strict_stats"]["factorizations"] == 1
+    assert sweep["block_stats"]["factorizations"] == 1
+    assert sweep["strict_stats"]["hit_rate"] == pytest.approx(
+        (REQUESTS - 1) / REQUESTS
+    )
+
+
+def test_batching_actually_coalesced(sweep):
+    assert sweep["block_stats"]["max_batch_occupancy"] > 1

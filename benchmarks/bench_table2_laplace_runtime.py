@@ -4,18 +4,27 @@ Regenerates the paper's columns: N, p, t_fact = t_comp + t_other, and
 t_solve = t_comp + t_other for one application of the inverse, at
 eps = 1e-6. Times for p > 1 are simulated-clock seconds (see DESIGN.md);
 the shape to check is the strong-scaling drop down each N block.
+
+Driven entirely through the unified facade: one ``repro.Solver`` per
+(N, p) cell builds the distributed factorization and the report's
+underlying :class:`~repro.parallel.driver.ParallelFactorization`
+supplies the simulated-clock columns.
 """
 
-import numpy as np
 import pytest
 
+import repro
 from common import laplace_grid_sides, process_counts, save_table
+from repro.api import SolveConfig
 from repro.apps import LaplaceVolumeProblem
 from repro.core import SRSOptions
-from repro.parallel import parallel_srs_factor
 from repro.reporting import Table, format_seconds
 
 OPTS = SRSOptions(tol=1e-6, leaf_size=64)
+
+
+def _config(p: int) -> SolveConfig:
+    return SolveConfig(method="direct", execution="thread", ranks=p, srs=OPTS)
 
 
 def run_sweep() -> Table:
@@ -27,16 +36,17 @@ def run_sweep() -> Table:
         prob = LaplaceVolumeProblem(m)
         b = prob.random_rhs()
         for p in process_counts(m):
-            fact = parallel_srs_factor(prob.kernel, p, opts=OPTS)
-            fact.solve(b)
+            solver = repro.Solver(prob, _config(p))
+            report = solver.solve(b)
+            fact = report.factorization
             solve_run = fact.last_solve_run
             table.add_row(
                 f"{m}^2",
                 p,
-                format_seconds(fact.t_fact),
-                format_seconds(fact.t_fact_comp),
-                format_seconds(fact.t_fact_other),
-                format_seconds(fact.t_solve),
+                format_seconds(report.sim_t_fact),
+                format_seconds(report.sim_t_comp),
+                format_seconds(report.sim_t_other),
+                format_seconds(report.sim_t_solve),
                 format_seconds(solve_run.compute),
                 format_seconds(solve_run.other),
             )
@@ -54,7 +64,7 @@ def test_table2_rows_generated(sweep, benchmark):
     m = laplace_grid_sides()[0]
     prob = LaplaceVolumeProblem(m)
     benchmark.pedantic(
-        lambda: parallel_srs_factor(prob.kernel, 4, opts=OPTS), rounds=1, iterations=1
+        lambda: repro.Solver(prob, _config(4)).factorization, rounds=1, iterations=1
     )
     assert len(sweep.rows) >= 4
 

@@ -4,12 +4,15 @@ Columns: eps, N, t_fact, t_solve, relres (FFT-verified residual of the
 one-shot direct solve), and nit (PCG iterations to 1e-12 with the
 factorization as preconditioner). Paper shape: relres ~ 1e3 * eps and
 nit constant (4-6 at eps=1e-6, 2-3 at 1e-9, 2 at 1e-12).
-"""
 
-import time
+Driven through the unified facade: the direct report supplies
+t_fact/t_solve/relres, and the PCG refinement reuses its factorization
+via ``repro.solve(..., factorization=...)``.
+"""
 
 import pytest
 
+import repro
 from common import accuracy_grid_sides, save_table, tolerances
 from repro.apps import LaplaceVolumeProblem
 from repro.core import SRSOptions
@@ -25,20 +28,23 @@ def run_sweep() -> Table:
         for m in accuracy_grid_sides():
             prob = LaplaceVolumeProblem(m)
             b = prob.random_rhs()
-            t0 = time.perf_counter()
-            fact = prob.factor(SRSOptions(tol=tol, leaf_size=64))
-            t_fact = time.perf_counter() - t0
-            t0 = time.perf_counter()
-            x = fact.solve(b)
-            t_solve = time.perf_counter() - t0
-            res = prob.pcg(fact, b)
+            opts = SRSOptions(tol=tol, leaf_size=64)
+            direct = repro.solve(prob, b, method="direct", srs=opts)
+            refined = repro.solve(
+                prob,
+                b,
+                method="pcg",
+                tol=1e-12,
+                srs=opts,
+                factorization=direct.factorization,
+            )
             table.add_row(
                 format_sci(tol),
                 f"{m}^2",
-                format_seconds(t_fact),
-                format_seconds(t_solve),
-                format_sci(prob.relres(x, b)),
-                res.iterations,
+                format_seconds(direct.t_setup),
+                format_seconds(direct.t_solve),
+                format_sci(direct.relres),
+                refined.iterations,
             )
     return table
 
@@ -54,7 +60,9 @@ def test_table3_generated(sweep, benchmark):
     m = accuracy_grid_sides()[0]
     prob = LaplaceVolumeProblem(m)
     benchmark.pedantic(
-        lambda: prob.factor(SRSOptions(tol=1e-6, leaf_size=64)), rounds=1, iterations=1
+        lambda: repro.solve(prob, prob.random_rhs(), srs=SRSOptions(tol=1e-6, leaf_size=64)),
+        rounds=1,
+        iterations=1,
     )
     assert len(sweep.rows) >= 4
 

@@ -3,18 +3,25 @@
 Same layout as Table II for the complex Lippmann-Schwinger system.
 Paper shape to verify: larger t_fact than Laplace at equal N (complex
 kernel evaluation), good strong-scaling drop, and a cheap solve.
+
+Driven through the unified facade, exactly like Table II.
 """
 
 import pytest
 
+import repro
 from common import helmholtz_grid_sides, process_counts, save_table
+from repro.api import SolveConfig
 from repro.apps import ScatteringProblem
 from repro.core import SRSOptions
-from repro.parallel import parallel_srs_factor
 from repro.reporting import Table, format_seconds
 
 OPTS = SRSOptions(tol=1e-6, leaf_size=64)
 KAPPA = 25.0
+
+
+def _config(p: int) -> SolveConfig:
+    return SolveConfig(method="direct", execution="thread", ranks=p, srs=OPTS)
 
 
 def run_sweep() -> Table:
@@ -26,16 +33,15 @@ def run_sweep() -> Table:
         prob = ScatteringProblem(m, KAPPA)
         b = prob.rhs()
         for p in process_counts(m):
-            fact = parallel_srs_factor(prob.kernel, p, opts=OPTS)
-            fact.solve(b)
-            run = fact.last_solve_run
+            report = repro.Solver(prob, _config(p)).solve(b)
+            run = report.factorization.last_solve_run
             table.add_row(
                 f"{m}^2",
                 p,
-                format_seconds(fact.t_fact),
-                format_seconds(fact.t_fact_comp),
-                format_seconds(fact.t_fact_other),
-                format_seconds(fact.t_solve),
+                format_seconds(report.sim_t_fact),
+                format_seconds(report.sim_t_comp),
+                format_seconds(report.sim_t_other),
+                format_seconds(report.sim_t_solve),
                 format_seconds(run.compute),
                 format_seconds(run.other),
             )
@@ -53,7 +59,7 @@ def test_table4_generated(sweep, benchmark):
     m = helmholtz_grid_sides()[0]
     prob = ScatteringProblem(m, KAPPA)
     benchmark.pedantic(
-        lambda: parallel_srs_factor(prob.kernel, 1, opts=OPTS), rounds=1, iterations=1
+        lambda: repro.Solver(prob, _config(1)).factorization, rounds=1, iterations=1
     )
     assert len(sweep.rows) >= 3
 
@@ -71,15 +77,11 @@ def test_table4_strong_scaling(sweep):
 
 def test_table4_helmholtz_slower_than_laplace():
     """Complex Hankel evaluation makes t_fact larger than Laplace at equal N."""
-    import time
-
     from repro.apps import LaplaceVolumeProblem
 
     m = helmholtz_grid_sides()[0]
-    t0 = time.perf_counter()
-    LaplaceVolumeProblem(m).factor(OPTS)
-    t_lap = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    ScatteringProblem(m, KAPPA).factor(OPTS)
-    t_helm = time.perf_counter() - t0
+    lap = LaplaceVolumeProblem(m)
+    helm = ScatteringProblem(m, KAPPA)
+    t_lap = repro.solve(lap, lap.random_rhs(), srs=OPTS).t_setup
+    t_helm = repro.solve(helm, helm.rhs(), srs=OPTS).t_setup
     assert t_helm > t_lap

@@ -33,6 +33,7 @@ them directly.
 """
 
 from repro.api import Problem, SolveConfig, SolveReport, Solver, solve
+from repro.service import ServiceConfig, SolveService
 from repro.core import SRSFactorization, SRSOptions, srs_factor
 from repro.parallel import (
     ParallelFactorization,
@@ -67,6 +68,8 @@ __all__ = [
     "Solver",
     "SolveConfig",
     "SolveReport",
+    "SolveService",
+    "ServiceConfig",
     "Problem",
     "SRSFactorization",
     "SRSOptions",

@@ -25,6 +25,12 @@ Pieces:
 
 from repro.api.config import EXECUTIONS, OPERATORS, SolveConfig
 from repro.api.facade import Solver, solve
+from repro.api.fingerprint import (
+    fingerprint_kernel,
+    fingerprint_problem,
+    problem_fingerprint,
+    setup_fingerprint,
+)
 from repro.api.problem import Problem, ProblemBase, check_problem
 from repro.api.report import SolveReport
 from repro.api.strategies import (
@@ -54,4 +60,8 @@ __all__ = [
     "resolve_strategy",
     "EXECUTIONS",
     "OPERATORS",
+    "fingerprint_kernel",
+    "fingerprint_problem",
+    "problem_fingerprint",
+    "setup_fingerprint",
 ]

@@ -65,6 +65,12 @@ class Problem(Protocol):
         """True relative residual ``||A x - b|| / ||b||``."""
         ...
 
+    # Optional: ``fingerprint() -> str`` — a stable content hash of the
+    # operator (geometry + kernel + tree), used by the serving layer to
+    # key its factorization cache. ProblemBase provides it; bare
+    # implementations fall back to
+    # :func:`repro.api.fingerprint.fingerprint_problem`.
+
 
 #: attribute names checked by :func:`check_problem`
 _REQUIRED = (
@@ -128,3 +134,22 @@ class ProblemBase:
     def relres(self, x: np.ndarray, b: np.ndarray) -> float:
         r = self.operator()(x) - b
         return float(np.linalg.norm(r) / np.linalg.norm(b))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the operator this problem defines.
+
+        Two independently constructed problems over identical geometry
+        and kernel parameters return the same digest; perturbing either
+        changes it. Memoized per instance (problems are immutable after
+        construction).
+        """
+        fp = getattr(self, "_fingerprint_cache", None)
+        if fp is None:
+            from repro.api.fingerprint import fingerprint_problem
+
+            fp = fingerprint_problem(self)
+            try:
+                self._fingerprint_cache = fp
+            except (AttributeError, TypeError):  # frozen/slotted subclass
+                pass
+        return fp

@@ -75,6 +75,13 @@ class SolveReport:
     sim_t_other: float | None = None
     messages: int | None = None
     comm_bytes: int | None = None
+    #: serving metadata (set by :mod:`repro.service`, ``None`` otherwise):
+    #: whether the factorization came out of the service cache
+    cache_hit: bool | None = None
+    #: how many requests shared the coalesced block solve (1 = solo)
+    batch_size: int | None = None
+    #: seconds between request submission and the start of its solve
+    t_queue: float | None = None
     krylov: Any | None = field(default=None, repr=False)
     config: Any | None = field(default=None, repr=False)
     factorization: Any | None = field(default=None, repr=False)
@@ -126,6 +133,12 @@ class SolveReport:
             "messages": self.messages,
             "comm_bytes": self.comm_bytes,
         }
+        if self.cache_hit is not None:
+            out["cache_hit"] = bool(self.cache_hit)
+        if self.batch_size is not None:
+            out["batch_size"] = int(self.batch_size)
+        if self.t_queue is not None:
+            out["t_queue"] = float(self.t_queue)
         if include_relres:
             out["relres"] = self.relres
         if self.krylov is not None:

@@ -87,6 +87,13 @@ def build_factorization(problem, config: SolveConfig):
     execution = resolve_execution(config.execution)
     if execution == "sequential":
         return srs_factor(problem.kernel, tree=problem.factor_tree, opts=config.srs)
+    if execution == "shared":
+        from repro.parallel.shared import shared_memory_factor
+
+        nthreads = DEFAULT_RANKS if config.ranks is None else config.ranks
+        return shared_memory_factor(
+            problem.kernel, nthreads, opts=config.srs, tree=problem.factor_tree
+        )
     from repro.parallel.driver import parallel_srs_factor
 
     p = DEFAULT_RANKS if config.ranks is None else config.ranks
@@ -97,6 +104,30 @@ def build_factorization(problem, config: SolveConfig):
         domain=problem.parallel_domain,
         backend=execution,
     )
+
+
+def _srs_setup_key(config: SolveConfig) -> tuple:
+    """Setup key shared by every strategy whose setup is the RS-S engine.
+
+    The sequential, shared-memory, and distributed engines produce
+    numerically interchangeable factorizations, but they are distinct
+    setup *products* (different timing/counter semantics), so the
+    resolved execution and rank count stay in the key. ``ranks`` is
+    normalized to the default it would resolve to. Every
+    :class:`~repro.core.options.SRSOptions` field enters the key —
+    enumerated via ``dataclasses.fields`` so options added later are
+    never silently shared across cache entries.
+    """
+    from dataclasses import fields
+
+    execution = resolve_execution(config.execution)
+    ranks = None
+    if execution != "sequential":
+        ranks = DEFAULT_RANKS if config.ranks is None else int(config.ranks)
+    srs_key = tuple(
+        (f.name, getattr(config.srs, f.name)) for f in fields(config.srs)
+    )
+    return ("srs", execution, ranks, srs_key)
 
 
 def get_operator(
@@ -158,6 +189,19 @@ class SolverStrategy(ABC):
     name: str
     #: whether the strategy honors parallel execution modes
     supports_parallel = False
+    #: strategies sharing a family produce interchangeable ``setup``
+    #: products (``None``: the setup is private to this method)
+    setup_family: str | None = None
+
+    def setup_key(self, config: SolveConfig) -> tuple:
+        """Hashable description of everything ``setup`` reads off the config.
+
+        Used (with the problem fingerprint) as the factorization-cache
+        key by :mod:`repro.service`: two configs with equal setup keys
+        may share one cached setup product. Refinement-only fields
+        (``tol``/``maxiter``/``restart``/``operator``) must stay out.
+        """
+        return (self.setup_family or self.name,)
 
     def check_execution(self, config: SolveConfig) -> None:
         """Reject execution modes the strategy cannot honor."""
@@ -192,6 +236,10 @@ class DirectStrategy(SolverStrategy):
 
     name = "direct"
     supports_parallel = True
+    setup_family = "srs"
+
+    def setup_key(self, config: SolveConfig) -> tuple:
+        return _srs_setup_key(config)
 
     def setup(self, problem, config: SolveConfig) -> Factorization:
         return build_factorization(problem, config)
@@ -217,6 +265,7 @@ class CGStrategy(SolverStrategy):
     """Unpreconditioned CG baseline (the paper's ``nit_cg`` columns)."""
 
     name = "cg"
+    setup_family = "identity"
 
     def check_compatible(self, problem, config: SolveConfig) -> None:
         if not getattr(problem, "is_symmetric", False):
@@ -243,6 +292,7 @@ class GMRESStrategy(SolverStrategy):
     """Unpreconditioned restarted GMRES baseline (Table V's comparison)."""
 
     name = "gmres"
+    setup_family = "identity"
 
     def setup(self, problem, config: SolveConfig) -> Factorization:
         return IdentityPreconditioner()
@@ -264,6 +314,10 @@ class PCGStrategy(SolverStrategy):
 
     name = "pcg"
     supports_parallel = True
+    setup_family = "srs"
+
+    def setup_key(self, config: SolveConfig) -> tuple:
+        return _srs_setup_key(config)
 
     def check_compatible(self, problem, config: SolveConfig) -> None:
         if not getattr(problem, "is_symmetric", False):
@@ -292,6 +346,10 @@ class PGMRESStrategy(SolverStrategy):
 
     name = "pgmres"
     supports_parallel = True
+    setup_family = "srs"
+
+    def setup_key(self, config: SolveConfig) -> tuple:
+        return _srs_setup_key(config)
 
     def setup(self, problem, config: SolveConfig) -> Factorization:
         return build_factorization(problem, config)
@@ -346,6 +404,9 @@ class BlockJacobiStrategy(SolverStrategy):
     """Leaf-block-diagonal preconditioner + Krylov (ablation baseline)."""
 
     name = "block_jacobi"
+
+    def setup_key(self, config: SolveConfig) -> tuple:
+        return (self.name, config.srs.leaf_size)
 
     def setup(self, problem, config: SolveConfig) -> Factorization:
         return BlockJacobiPreconditioner(

@@ -52,7 +52,15 @@ def lpt_makespan(durations: list[float], nthreads: int) -> float:
 
 @dataclass
 class SharedMemoryResult:
-    """Outcome of the shared-memory comparator."""
+    """Outcome of the shared-memory comparator.
+
+    Satisfies the :class:`repro.api.strategies.Factorization` protocol
+    (``solve`` / ``memory_bytes`` delegate to the underlying — and
+    numerically identical — sequential factorization), so the facade
+    can run it as ``SolveConfig(execution="shared", ranks=nthreads)``;
+    ``t_fact``/``t_solve`` are the simulated thread-schedule times the
+    facade surfaces as ``sim_t_fact``/``sim_t_solve``.
+    """
 
     factorization: SRSFactorization
     nthreads: int
@@ -65,6 +73,15 @@ class SharedMemoryResult:
     @property
     def speedup(self) -> float:
         return self.sequential_t_fact / self.t_fact if self.t_fact else 1.0
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Apply the compressed inverse (identical to the sequential one)."""
+        return self.factorization.solve(b)
+
+    __call__ = solve
+
+    def memory_bytes(self) -> int:
+        return self.factorization.memory_bytes()
 
 
 def shared_memory_factor(

@@ -1,0 +1,246 @@
+"""Fingerprint-keyed factorization cache with single-flight builds.
+
+The economics the paper leans on — factor once, solve cheaply many
+times — only pay off across *callers* if the expensive product is
+shared. This cache maps ``(problem fingerprint, strategy setup key)``
+to the built :class:`~repro.api.strategies.Factorization`:
+
+* **single-flight**: N concurrent requests for an unfactored operator
+  trigger exactly one build; the other N-1 block on an event until the
+  leader finishes (or propagate its failure).
+* **LRU with a byte budget**: entries are charged their
+  ``memory_bytes()``; inserting past the budget evicts the least
+  recently used finished entries. A single entry larger than the whole
+  budget stays resident until displaced (the budget is a high-water
+  mark, not a per-entry cap).
+* **pool pinning**: a cached factorization produced by the process
+  execution engine keeps its :class:`~repro.vmpi.pool.RankPool` pinned,
+  so the pool registry's idle LRU never tears down the rank processes
+  backing a resident entry; eviction unpins, letting the pool retire
+  normally.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, NamedTuple
+
+
+def _backend_pool(fact: Any):
+    """The RankPool backing a factorization, or ``None``."""
+    return getattr(getattr(fact, "backend", None), "pool", None)
+
+
+class _Entry:
+    """One cache slot: a finished factorization or an in-flight build."""
+
+    __slots__ = ("key", "event", "fact", "error", "nbytes", "build_seconds", "pinned_pool")
+
+    def __init__(self, key: Hashable):
+        self.key = key
+        self.event = threading.Event()
+        self.fact: Any = None
+        self.error: BaseException | None = None
+        self.nbytes = 0
+        self.build_seconds = 0.0
+        #: the exact RankPool pinned at insert time (unpinned on evict —
+        #: fact.backend.pool may point at a *replacement* pool by then)
+        self.pinned_pool: Any = None
+
+    @property
+    def ready(self) -> bool:
+        return self.event.is_set() and self.error is None
+
+
+class CacheLookup(NamedTuple):
+    """What :meth:`FactorizationCache.get_or_build` reports back."""
+
+    fact: Any
+    hit: bool            #: the build was already done or in flight
+    waited: bool         #: hit, but on an in-flight build (single-flight)
+    build_seconds: float  #: wall seconds of the build this entry cost (0 on hit)
+    nbytes: int = 0      #: the entry's memory_bytes(), computed once at insert
+
+
+class FactorizationCache:
+    """LRU byte-budget cache of strategy setup products.
+
+    Parameters
+    ----------
+    max_bytes:
+        Eviction high-water mark for the summed ``memory_bytes()`` of
+        resident entries.
+    on_evict:
+        Optional callback invoked (outside the cache lock) with each
+        evicted factorization.
+    """
+
+    def __init__(self, max_bytes: int, *, on_evict: Callable[[Any], None] | None = None):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._on_evict = on_evict
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self.evictions = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def bytes_resident(self) -> int:
+        """Bytes held by finished entries."""
+        with self._lock:
+            return sum(e.nbytes for e in self._entries.values() if e.ready)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+        return entry is not None and entry.ready
+
+    # ------------------------------------------------------------------
+    # the single-flight lookup
+    # ------------------------------------------------------------------
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], Any], *, timeout: float | None = None
+    ) -> CacheLookup:
+        """Return the cached factorization for ``key``, building it once.
+
+        Exactly one caller per key runs ``builder``; concurrent callers
+        block until it finishes and share the product. A failed build
+        raises in every waiter and leaves no entry behind (the next
+        request retries).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            leader = entry is None
+            if leader:
+                entry = _Entry(key)
+                self._entries[key] = entry
+            else:
+                self._entries.move_to_end(key)
+            waited = not leader and not entry.event.is_set()
+
+        if not leader:
+            if not entry.event.wait(timeout):
+                raise TimeoutError(f"factorization build for {key!r} timed out")
+            if entry.error is not None:
+                raise entry.error
+            return CacheLookup(entry.fact, True, waited, 0.0, entry.nbytes)
+
+        try:
+            t0 = time.perf_counter()
+            fact = builder()
+            entry.build_seconds = time.perf_counter() - t0
+        except BaseException as exc:
+            entry.error = exc
+            with self._lock:
+                # failed builds are not cached; followers see the error,
+                # later requests start a fresh flight
+                self._entries.pop(key, None)
+            entry.event.set()
+            raise
+        entry.fact = fact
+        entry.nbytes = (
+            int(fact.memory_bytes()) if hasattr(fact, "memory_bytes") else 0
+        )
+        pool = _backend_pool(fact)
+        if pool is not None:
+            # best-effort warmth: the pin lands after the build, so a
+            # registry LRU eviction racing the build can still shut the
+            # pool down first — that costs one respawn on the next
+            # solve (the pins die with the discarded pool object, so
+            # nothing leaks), it never costs correctness
+            pool.pin()
+            entry.pinned_pool = pool
+        entry.event.set()
+        with self._lock:
+            # a build finishing after close() must not stay resident:
+            # nothing would ever unpin its pool or drop the entry
+            orphaned = self._closed and self._entries.get(key) is entry
+            if orphaned:
+                del self._entries[key]
+        if orphaned:
+            self._release(entry)
+        else:
+            self._enforce_budget(keep=key)
+        return CacheLookup(fact, False, False, entry.build_seconds, entry.nbytes)
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _enforce_budget(self, *, keep: Hashable | None = None) -> None:
+        """Evict LRU finished entries until the budget holds."""
+        evicted: list[_Entry] = []
+        with self._lock:
+            def resident() -> int:
+                return sum(e.nbytes for e in self._entries.values() if e.ready)
+
+            while resident() > self.max_bytes:
+                victim_key = next(
+                    (
+                        k
+                        for k, e in self._entries.items()
+                        if e.ready and k != keep
+                    ),
+                    None,
+                )
+                if victim_key is None:
+                    break  # only in-flight entries or the newcomer left
+                evicted.append(self._entries.pop(victim_key))
+                self.evictions += 1
+        for entry in evicted:
+            self._release(entry)
+
+    def evict(self, key: Hashable) -> bool:
+        """Explicitly drop one finished entry; True when it existed."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or not entry.ready:
+                return False
+            del self._entries[key]
+            self.evictions += 1
+        self._release(entry)
+        return True
+
+    def clear(self) -> None:
+        """Drop every finished entry (in-flight builds complete unseen)."""
+        with self._lock:
+            finished = [k for k, e in self._entries.items() if e.ready]
+            evicted = [self._entries.pop(k) for k in finished]
+        for entry in evicted:
+            self._release(entry)
+
+    def close(self) -> None:
+        """Clear the cache and release any build that finishes later.
+
+        After closing, entries are still buildable (callers already in
+        flight complete normally) but are released immediately instead
+        of becoming resident — so a factorization finishing after the
+        owning service shut down cannot pin its rank pool forever.
+        """
+        with self._lock:
+            self._closed = True
+        self.clear()
+
+    def _release(self, entry: _Entry) -> None:
+        """Free an evicted entry: unpin its pool and run the callback.
+
+        ``entry.fact`` is deliberately left in place: a concurrent
+        reader that found the entry ready before the eviction still
+        returns it safely; the arrays are freed once the last such
+        reader drops its reference (the cache itself no longer holds
+        the entry).
+        """
+        pool, entry.pinned_pool = entry.pinned_pool, None
+        if pool is not None:
+            pool.unpin()
+        if self._on_evict is not None and entry.fact is not None:
+            self._on_evict(entry.fact)

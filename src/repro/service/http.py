@@ -1,0 +1,247 @@
+"""Stdlib JSON endpoint over a :class:`~repro.service.SolveService`.
+
+No third-party web framework: a :class:`ThreadingHTTPServer` whose
+handler translates JSON requests into service submissions. Each HTTP
+connection runs on its own thread, so concurrent clients exercise the
+cache's single-flight and the rhs batcher exactly like in-process
+callers.
+
+Routes
+------
+``POST /solve``
+    Body::
+
+        {
+          "problem": {"type": "laplace_volume", "m": 64},
+          "rhs": {"seed": 3},                  # or {"values": [...]},
+                                               # {"re": [...], "im": [...]},
+                                               # or omitted (default_rhs)
+          "method": "direct",                  # + tol/maxiter/restart/
+          "execution": "sequential",           #   ranks/operator/srs {...}
+          "return_x": false,                   # ship the solution vector
+          "relres": true                       # evaluate the true residual
+        }
+
+    Response: ``{"report": SolveReport.to_dict(), "x": ...?}``.
+``GET /stats``
+    The service's :class:`~repro.service.stats.ServiceStats` as JSON.
+``GET /healthz``
+    ``{"ok": true}`` — liveness probe.
+
+Problem specs are built through a registry (:data:`PROBLEM_TYPES`) and
+cached (LRU) by their canonical JSON, so repeated requests for the same
+operator reuse one problem object — and therefore one memoized
+fingerprint and one cached factorization.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+import numpy as np
+
+from repro.api.config import SolveConfig
+from repro.core.options import SRSOptions
+from repro.service.service import SolveService
+
+#: most distinct problem objects kept alive by one server
+PROBLEM_CACHE_SIZE = 32
+
+#: SolveConfig fields settable through the request body
+_CONFIG_KEYS = ("method", "execution", "ranks", "tol", "maxiter", "restart", "operator")
+
+
+def _build_curve(spec: dict):
+    from repro.bie.curves import Circle, Ellipse, Kite, StarCurve
+
+    kinds: dict[str, Callable] = {
+        "circle": lambda s: Circle(radius=float(s.get("radius", 1.0))),
+        "ellipse": lambda s: Ellipse(a=float(s.get("a", 1.0)), b=float(s.get("b", 0.5))),
+        "star": lambda s: StarCurve(
+            radius=float(s.get("radius", 1.0)),
+            amplitude=float(s.get("amplitude", 0.3)),
+            arms=int(s.get("arms", 5)),
+        ),
+        "kite": lambda s: Kite(scale=float(s.get("scale", 1.0))),
+    }
+    kind = spec.get("type", "circle")
+    if kind not in kinds:
+        raise ValueError(f"unknown curve type {kind!r}; expected one of {sorted(kinds)}")
+    return kinds[kind](spec)
+
+
+def _laplace_volume(spec: dict):
+    from repro.apps.laplace_volume import LaplaceVolumeProblem
+
+    return LaplaceVolumeProblem(m=int(spec["m"]))
+
+
+def _scattering(spec: dict):
+    from repro.apps.scattering import ScatteringProblem
+
+    return ScatteringProblem(int(spec["m"]), float(spec["kappa"]))
+
+
+def _interior_dirichlet(spec: dict):
+    from repro.bie.solves import InteriorDirichletProblem
+
+    return InteriorDirichletProblem(_build_curve(spec.get("curve", {})), int(spec["n"]))
+
+
+def _sound_soft(spec: dict):
+    from repro.bie.solves import SoundSoftScattering
+
+    return SoundSoftScattering(
+        _build_curve(spec.get("curve", {})), int(spec["n"]), float(spec["kappa"])
+    )
+
+
+#: JSON problem-spec builders; register new workloads here
+PROBLEM_TYPES: dict[str, Callable[[dict], object]] = {
+    "laplace_volume": _laplace_volume,
+    "scattering": _scattering,
+    "interior_dirichlet": _interior_dirichlet,
+    "sound_soft": _sound_soft,
+}
+
+
+def build_problem(spec: dict):
+    """Instantiate the problem named by a JSON spec (no caching)."""
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise ValueError('problem spec must be an object with a "type" field')
+    kind = spec["type"]
+    if kind not in PROBLEM_TYPES:
+        raise ValueError(
+            f"unknown problem type {kind!r}; expected one of {sorted(PROBLEM_TYPES)}"
+        )
+    return PROBLEM_TYPES[kind](spec)
+
+
+def _decode_rhs(problem, spec) -> np.ndarray | None:
+    if spec is None:
+        return None
+    if isinstance(spec, list):
+        return np.asarray(spec, dtype=float)
+    if not isinstance(spec, dict):
+        raise ValueError("rhs must be a list, an object, or omitted")
+    if "values" in spec:
+        return np.asarray(spec["values"], dtype=float)
+    if "re" in spec:
+        re = np.asarray(spec["re"], dtype=float)
+        im = np.asarray(spec.get("im", np.zeros_like(re)), dtype=float)
+        return re + 1j * im
+    if "seed" in spec:
+        return problem.random_rhs(int(spec["seed"]), nrhs=int(spec.get("nrhs", 1)))
+    raise ValueError('rhs object must carry "values", "re"/"im", or "seed"')
+
+
+def _encode_x(x: np.ndarray):
+    if np.iscomplexobj(x):
+        return {"re": x.real.tolist(), "im": x.imag.tolist()}
+    return x.tolist()
+
+
+def _decode_config(body: dict) -> SolveConfig:
+    overrides = {k: body[k] for k in _CONFIG_KEYS if k in body}
+    if "srs" in body:
+        overrides["srs"] = SRSOptions(**body["srs"])
+    return SolveConfig(**overrides)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SolveService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: SolveService):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self._problems: "OrderedDict[str, object]" = OrderedDict()
+        self._problems_lock = threading.Lock()
+
+    def problem_for(self, spec: dict):
+        """The (cached) problem object for a canonicalized JSON spec."""
+        key = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        with self._problems_lock:
+            prob = self._problems.get(key)
+            if prob is not None:
+                self._problems.move_to_end(key)
+                return prob
+        prob = build_problem(spec)
+        with self._problems_lock:
+            self._problems[key] = prob
+            while len(self._problems) > PROBLEM_CACHE_SIZE:
+                self._problems.popitem(last=False)
+        return prob
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Translates the JSON wire format to service calls."""
+
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default; flip for debugging
+    def log_message(self, fmt, *args):  # noqa: D102 - stdlib signature
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        elif self.path == "/stats":
+            self._reply(200, self.server.service.stats().to_dict())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path != "/solve":
+            self._reply(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            problem = self.server.problem_for(body.get("problem", {}))
+            rhs = _decode_rhs(problem, body.get("rhs"))
+            config = _decode_config(body)
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        try:
+            report = self.server.service.solve(problem, rhs, config)
+        except (ValueError, TypeError) as exc:
+            # request-shaped failures (bad rhs length, method/problem
+            # incompatibility) are the client's fault
+            self._reply(400, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        except Exception as exc:  # noqa: BLE001 - wire boundary
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        payload = {"report": report.to_dict(include_relres=bool(body.get("relres", True)))}
+        if body.get("return_x", False):
+            payload["x"] = _encode_x(report.x)
+        self._reply(200, payload)
+
+
+def make_server(
+    service: SolveService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the JSON endpoint; port 0 picks a free one."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve_forever(service: SolveService, host: str = "127.0.0.1", port: int = 8000) -> None:
+    """Blocking convenience runner (Ctrl-C to stop)."""
+    with make_server(service, host, port) as server:
+        server.serve_forever()

@@ -1,0 +1,300 @@
+"""The serving front door: concurrent solves over the facade.
+
+A :class:`SolveService` turns ``repro.solve`` into a long-lived,
+thread-safe server: requests enter through :meth:`SolveService.submit`
+(futures), :meth:`SolveService.solve` (blocking), or
+:meth:`SolveService.asolve` (asyncio); factorizations are amortized
+across *all* callers through a fingerprint-keyed
+:class:`~repro.service.cache.FactorizationCache` (single-flight, LRU
+byte budget), and concurrent direct solves against the same
+factorization coalesce into block applies through the
+:class:`~repro.service.batcher.RhsBatcher`. Every response is the same
+:class:`~repro.api.report.SolveReport` the facade returns, annotated
+with serving metadata (``cache_hit``, ``batch_size``, ``t_queue``).
+
+    service = repro.service.SolveService()
+    futures = [service.submit(prob, prob.random_rhs(i)) for i in range(64)]
+    reports = [f.result() for f in futures]     # one factorization total
+    print(service.stats().hit_rate)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.config import SolveConfig
+from repro.api.facade import _make_config, _parallel_extras
+from repro.api.facade import solve as facade_solve
+from repro.api.fingerprint import problem_fingerprint
+from repro.api.problem import check_problem
+from repro.api.report import SolveReport
+from repro.api.strategies import resolve_execution, resolve_strategy
+from repro.service.batcher import RhsBatcher
+from repro.service.cache import FactorizationCache
+from repro.service.stats import ServiceStats, StatsCollector
+from repro.util.config import (
+    service_batch_max,
+    service_batch_mode,
+    service_batch_window_s,
+    service_cache_bytes,
+    service_workers,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs; defaults come from the ``REPRO_SERVICE_*`` env.
+
+    Attributes
+    ----------
+    cache_bytes:
+        Factorization-cache byte budget (``REPRO_SERVICE_CACHE_BYTES``).
+    batch_window:
+        Seconds a batch opener waits for joiners
+        (``REPRO_SERVICE_BATCH_WINDOW_MS``; 0 disables coalescing).
+    batch_max:
+        Occupancy at which a batch dispatches early
+        (``REPRO_SERVICE_BATCH_MAX``).
+    batch_mode:
+        ``"block"`` (fast BLAS-3 block applies) or ``"strict"``
+        (bitwise-identical to unbatched solves); see
+        :mod:`repro.service.batcher` (``REPRO_SERVICE_BATCH_MODE``).
+    workers:
+        Solver threads (``REPRO_SERVICE_WORKERS``).
+    """
+
+    cache_bytes: int = field(default_factory=service_cache_bytes)
+    batch_window: float = field(default_factory=service_batch_window_s)
+    batch_max: int = field(default_factory=service_batch_max)
+    batch_mode: str = field(default_factory=service_batch_mode)
+    workers: int = field(default_factory=service_workers)
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes < 0:
+            raise ValueError(f"cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {self.batch_window}")
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+class _Request:
+    __slots__ = ("problem", "b", "config", "future", "t_submit")
+
+    def __init__(self, problem, b, config: SolveConfig):
+        self.problem = problem
+        self.b = b
+        self.config = config
+        self.future: Future = Future()
+        self.t_submit = time.perf_counter()
+
+
+class SolveService:
+    """Concurrent solve server over the unified facade.
+
+    Thread-safe; one instance is meant to outlive many requests (the
+    whole point is amortizing factorizations across them). Use as a
+    context manager or call :meth:`close` to release the worker threads
+    and the cached factorizations (which unpins their rank pools).
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            from dataclasses import replace
+
+            config = replace(config, **overrides)
+        self.config = config
+        self._stats = StatsCollector()
+        self._cache = FactorizationCache(config.cache_bytes)
+        self._batcher = RhsBatcher(
+            config.batch_window,
+            config.batch_max,
+            mode=config.batch_mode,
+            on_batch=self._stats.record_batch,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-service"
+        )
+        self._closed = threading.Event()
+
+    # ------------------------------------------------------------------
+    # request entry points
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        problem,
+        b: np.ndarray | None = None,
+        config: SolveConfig | None = None,
+        **overrides,
+    ) -> "Future[SolveReport]":
+        """Enqueue one solve; returns a future resolving to its report.
+
+        Validation (unknown problem/method/execution, incompatible
+        problem) raises here, synchronously; numerical failures surface
+        through the future.
+        """
+        if self._closed.is_set():
+            raise RuntimeError("SolveService is closed")
+        cfg = _make_config(config, overrides)
+        check_problem(problem)
+        strategy = resolve_strategy(cfg.method)
+        strategy.check_execution(cfg)
+        strategy.check_compatible(problem, cfg)
+        req = _Request(problem, b, cfg)
+        self._stats.incr("requests")
+        self._executor.submit(self._process, req)
+        return req.future
+
+    def solve(
+        self,
+        problem,
+        b: np.ndarray | None = None,
+        config: SolveConfig | None = None,
+        **overrides,
+    ) -> SolveReport:
+        """Blocking convenience wrapper over :meth:`submit`."""
+        return self.submit(problem, b, config, **overrides).result()
+
+    async def asolve(
+        self,
+        problem,
+        b: np.ndarray | None = None,
+        config: SolveConfig | None = None,
+        **overrides,
+    ) -> SolveReport:
+        """Asyncio front: awaitable form of :meth:`submit`.
+
+        The solve still runs on the service's worker threads; the event
+        loop is never blocked (submission itself is cheap validation).
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(self.submit(problem, b, config, **overrides))
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Snapshot of the serving metrics."""
+        return self._stats.snapshot(
+            bytes_resident=self._cache.bytes_resident,
+            entries_resident=len(self._cache),
+            evictions=self._cache.evictions,
+        )
+
+    @property
+    def cache(self) -> FactorizationCache:
+        """The factorization cache (introspection/tests)."""
+        return self._cache
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting requests, drain workers, drop the cache."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._executor.shutdown(wait=wait)
+        self._cache.close()
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the worker path
+    # ------------------------------------------------------------------
+    def _process(self, req: _Request) -> None:
+        if not req.future.set_running_or_notify_cancel():
+            return
+        try:
+            self._process_inner(req)
+        except BaseException as exc:
+            self._fail(req, exc)
+
+    def _process_inner(self, req: _Request) -> None:
+        problem, cfg = req.problem, req.config
+        b = problem.default_rhs() if req.b is None else np.asarray(req.b)
+        if b.shape[0] != problem.n:
+            raise ValueError(f"rhs has {b.shape[0]} rows, expected {problem.n}")
+
+        strategy = resolve_strategy(cfg.method)
+        key = (problem_fingerprint(problem), strategy.setup_key(cfg))
+        lookup = self._cache.get_or_build(key, lambda: strategy.setup(problem, cfg))
+        if lookup.hit:
+            self._stats.incr("cache_hits")
+            if lookup.waited:
+                self._stats.incr("single_flight_waits")
+        else:
+            self._stats.incr("cache_misses")
+            self._stats.incr("factorizations")
+        fact = lookup.fact
+        t_queue = time.perf_counter() - req.t_submit
+
+        if cfg.method == "direct":
+            execution = resolve_execution(cfg.execution)
+
+            def finish(x: np.ndarray, size: int, t_solve: float) -> None:
+                # the solve started t_solve ago: queue time spans
+                # submission -> solve start, so it includes the batch
+                # window this request waited out (and, for a cache-miss
+                # leader, the factorization build — reported separately
+                # as t_setup)
+                t_queue = time.perf_counter() - t_solve - req.t_submit
+                report = SolveReport(
+                    x=x,
+                    method=cfg.method,
+                    execution=execution,
+                    problem=problem,
+                    rhs=b,
+                    iterations=0,
+                    converged=True,
+                    t_setup=lookup.build_seconds,
+                    t_solve=t_solve,
+                    # computed once at cache insert, not per request
+                    memory_bytes=lookup.nbytes or None,
+                    config=cfg,
+                    factorization=fact,
+                    cache_hit=lookup.hit,
+                    batch_size=size,
+                    t_queue=t_queue,
+                    **_parallel_extras(fact),
+                )
+                self._finish(req, report)
+
+            # id(fact) keys the batch to this factorization *instance*:
+            # an evicted-and-rebuilt entry never joins a stale batch,
+            # and grouping by rhs dtype keeps block stacking exact
+            self._batcher.submit(
+                (key, id(fact), str(b.dtype), b.shape[0]),
+                fact,
+                b,
+                finish,
+                lambda exc: self._fail(req, exc),
+            )
+            return
+
+        report = facade_solve(problem, b, cfg, factorization=fact)
+        report.t_setup = lookup.build_seconds
+        report.cache_hit = lookup.hit
+        report.t_queue = t_queue
+        self._finish(req, report)
+
+    def _finish(self, req: _Request, report: SolveReport) -> None:
+        self._stats.incr("completed")
+        self._stats.record_latency(time.perf_counter() - req.t_submit)
+        req.future.set_result(report)
+
+    def _fail(self, req: _Request, exc: BaseException) -> None:
+        self._stats.incr("failed")
+        if not req.future.done():
+            req.future.set_exception(exc)

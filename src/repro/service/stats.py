@@ -1,0 +1,145 @@
+"""Per-service metrics: cache behavior, batching, and latency.
+
+A :class:`SolveService` owns one :class:`StatsCollector`; every request
+records its outcome there, and :meth:`StatsCollector.snapshot` freezes
+the counters into an immutable :class:`ServiceStats` report (the
+``GET /stats`` payload of the HTTP front).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass
+
+#: how many recent request latencies back the percentile estimates
+LATENCY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Frozen snapshot of a service's counters.
+
+    Attributes
+    ----------
+    requests / completed / failed:
+        Submitted, successfully finished, and errored request counts.
+    cache_hits / cache_misses:
+        Factorization-cache outcomes per request. A "hit" includes
+        single-flight followers (requests that waited on a factor
+        already in flight) — they paid latency but no compute.
+    single_flight_waits:
+        How many of the hits waited on an in-flight build instead of
+        finding a finished entry (the thundering-herd absorption).
+    factorizations:
+        Builders actually executed (the expensive events).
+    evictions:
+        Cache entries dropped by the byte-budget LRU policy.
+    bytes_resident / entries_resident:
+        Current cache footprint.
+    batches / batched_requests:
+        Coalesced block solves dispatched, and requests carried by
+        them; ``mean_batch_occupancy`` is their ratio and
+        ``max_batch_occupancy`` the largest single batch.
+    p50_latency_s / p95_latency_s:
+        Submit-to-completion latency percentiles over the most recent
+        ``LATENCY_WINDOW`` completed requests (``None`` before the
+        first completion).
+    """
+
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    single_flight_waits: int = 0
+    factorizations: int = 0
+    evictions: int = 0
+    bytes_resident: int = 0
+    entries_resident: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    mean_batch_occupancy: float = 0.0
+    max_batch_occupancy: int = 0
+    p50_latency_s: float | None = None
+    p95_latency_s: float | None = None
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction over all cache lookups (0 when none)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (adds the derived ``hit_rate``)."""
+        out = asdict(self)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty list."""
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+class StatsCollector:
+    """Thread-safe accumulator behind :class:`ServiceStats`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {
+            "requests": 0,
+            "completed": 0,
+            "failed": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "single_flight_waits": 0,
+            "factorizations": 0,
+            "evictions": 0,
+            "batches": 0,
+            "batched_requests": 0,
+        }
+        self._max_batch = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def incr(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += by
+
+    def record_batch(self, occupancy: int) -> None:
+        with self._lock:
+            self._counts["batches"] += 1
+            self._counts["batched_requests"] += occupancy
+            self._max_batch = max(self._max_batch, occupancy)
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(float(seconds))
+
+    def snapshot(
+        self,
+        *,
+        bytes_resident: int = 0,
+        entries_resident: int = 0,
+        evictions: int | None = None,
+    ) -> ServiceStats:
+        with self._lock:
+            counts = dict(self._counts)
+            lats = sorted(self._latencies)
+            max_batch = self._max_batch
+        if evictions is not None:  # the cache counts its own evictions
+            counts["evictions"] = int(evictions)
+        p50 = _percentile(lats, 0.50) if lats else None
+        p95 = _percentile(lats, 0.95) if lats else None
+        batches = counts["batches"]
+        mean_occ = counts["batched_requests"] / batches if batches else 0.0
+        return ServiceStats(
+            **counts,
+            bytes_resident=int(bytes_resident),
+            entries_resident=int(entries_resident),
+            mean_batch_occupancy=mean_occ,
+            max_batch_occupancy=max_batch,
+            p50_latency_s=p50,
+            p95_latency_s=p95,
+        )

@@ -24,6 +24,17 @@ def env_int(name: str, default: int) -> int:
         raise ValueError(f"environment variable {name}={raw!r} is not an int") from exc
 
 
+def env_float(name: str, default: float) -> float:
+    """Read a float environment variable with a default."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"environment variable {name}={raw!r} is not a float") from exc
+
+
 def env_flag(name: str, default: bool = False) -> bool:
     """Read a boolean environment variable (``1/true/yes`` are truthy)."""
     raw = os.environ.get(name)
@@ -119,6 +130,85 @@ def vmpi_pool_max() -> int:
     n = env_int("REPRO_VMPI_POOL_MAX", 4)
     if n < 1:
         raise ValueError(f"REPRO_VMPI_POOL_MAX must be >= 1, got {n}")
+    return n
+
+
+# ----------------------------------------------------------------------
+# solve service (repro.service) knobs
+# ----------------------------------------------------------------------
+def service_cache_bytes() -> int:
+    """Factorization-cache byte budget (``REPRO_SERVICE_CACHE_BYTES``).
+
+    The service evicts least-recently-used factorizations once the
+    resident bytes exceed this (default 256 MiB). A single entry larger
+    than the budget stays resident until displaced — the budget is a
+    high-water mark, not a hard per-entry cap.
+    """
+    n = env_int("REPRO_SERVICE_CACHE_BYTES", 256 * 2**20)
+    if n < 0:
+        raise ValueError(f"REPRO_SERVICE_CACHE_BYTES must be >= 0, got {n}")
+    return n
+
+
+def service_batch_window_s() -> float:
+    """Batching window in seconds (``REPRO_SERVICE_BATCH_WINDOW_MS``).
+
+    A request that opens a batch waits this long (default 2 ms) for
+    other requests against the same factorization before solving; 0
+    disables coalescing. Longer windows raise batch occupancy and
+    throughput at the cost of per-request latency.
+    """
+    ms = env_float("REPRO_SERVICE_BATCH_WINDOW_MS", 2.0)
+    if ms < 0:
+        raise ValueError(f"REPRO_SERVICE_BATCH_WINDOW_MS must be >= 0, got {ms}")
+    return ms / 1e3
+
+
+def service_batch_max() -> int:
+    """Most right-hand sides coalesced into one block solve
+    (``REPRO_SERVICE_BATCH_MAX``, default 32); a full batch dispatches
+    immediately without waiting out the window."""
+    n = env_int("REPRO_SERVICE_BATCH_MAX", 32)
+    if n < 1:
+        raise ValueError(f"REPRO_SERVICE_BATCH_MAX must be >= 1, got {n}")
+    return n
+
+
+#: batch execution modes of the service's RhsBatcher
+SERVICE_BATCH_MODES = ("block", "strict")
+
+
+def service_batch_mode() -> str:
+    """How coalesced requests are solved (``REPRO_SERVICE_BATCH_MODE``).
+
+    * ``block`` (default) — one ``(N, nrhs)`` block application per
+      batch: fastest (one sweep over the factorization records, BLAS-3
+      applies), but multi-column GEMM may differ from a solo solve in
+      the last floating-point bits.
+    * ``strict`` — each coalesced rhs is applied at its submitted shape:
+      bitwise-identical to an unbatched solve, still amortizing the
+      queue/dispatch per batch.
+    """
+    raw = os.environ.get("REPRO_SERVICE_BATCH_MODE")
+    if raw is None or raw.strip() == "":
+        return "block"
+    name = raw.strip().lower()
+    if name not in SERVICE_BATCH_MODES:
+        raise ValueError(
+            f"REPRO_SERVICE_BATCH_MODE={raw!r} is not one of "
+            f"{'/'.join(SERVICE_BATCH_MODES)}"
+        )
+    return name
+
+
+def service_workers() -> int:
+    """Solver threads of a :class:`~repro.service.SolveService`
+    (``REPRO_SERVICE_WORKERS``, default 8). Requests beyond this
+    concurrency queue; threads blocked on an in-flight factorization
+    (single-flight) or parked as batch joiners free up quickly."""
+    n = env_int("REPRO_SERVICE_WORKERS", 8)
+    if n < 1:
+        raise ValueError(f"REPRO_SERVICE_WORKERS must be >= 1, got {n}")
     return n
 
 

@@ -171,6 +171,28 @@ class RankPool:
         #: self-retires after its current job — never leaks workers.
         self._origin_registry = False
         self._in_registry = False
+        # pin count: holders of long-lived factorizations (the serving
+        # layer's cache) pin the pool so the registry's idle LRU
+        # eviction skips it — their resident ranks stay warm
+        self._pins = 0
+
+    # ------------------------------------------------------------------
+    # pinning
+    # ------------------------------------------------------------------
+    def pin(self) -> None:
+        """Protect this pool from registry LRU eviction (refcounted)."""
+        with self._lock:
+            self._pins += 1
+
+    def unpin(self) -> None:
+        """Release one :meth:`pin`; never drops below zero."""
+        with self._lock:
+            self._pins = max(0, self._pins - 1)
+
+    @property
+    def pinned(self) -> bool:
+        """Whether any holder currently pins this pool."""
+        return self._pins > 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -497,9 +519,17 @@ def get_pool(nranks: int, start_method: str, min_shm_bytes: int) -> RankPool:
             pool = RankPool(nranks, start_method, min_shm_bytes)
             pool._origin_registry = pool._in_registry = True
             _POOLS[key] = pool
+            # LRU-evict beyond the cap, skipping pinned pools (their
+            # ranks back factorizations resident in a serving cache);
+            # if every candidate is pinned the cap is allowed to bulge
             while len(_POOLS) > vmpi_pool_max():
-                _key, lru = _POOLS.popitem(last=False)
-                evict.append(lru)
+                victim_key = next(
+                    (k for k, cand in _POOLS.items() if not cand.pinned and cand is not pool),
+                    None,
+                )
+                if victim_key is None:
+                    break
+                evict.append(_POOLS.pop(victim_key))
         for old in evict:
             old._in_registry = False
         if not _ATEXIT_REGISTERED:

@@ -569,6 +569,16 @@ class ProcessBackend(ExecutionBackend):
             self.pool_mode = pool
         self._pool = None  # pinned RankPool (persistent mode, after first run)
 
+    @property
+    def pool(self):
+        """The :class:`~repro.vmpi.pool.RankPool` of the last dispatch.
+
+        ``None`` before the first ``run`` or in per-call mode. Holders
+        of long-lived factorizations (the serving cache) pin it so the
+        registry's idle LRU eviction keeps its ranks resident.
+        """
+        return self._pool
+
     def __getstate__(self) -> dict:
         # a live pool (processes, queues) cannot cross pickling — e.g.
         # a ParallelFactorization carrying this backend; re-acquired

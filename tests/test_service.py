@@ -1,0 +1,404 @@
+"""Serving-subsystem tests: single-flight, batching, eviction, fronts.
+
+The contracts under test:
+
+* **thundering herd** — N concurrent requests for one unfactored
+  operator run exactly one builder; everyone shares its product.
+* **batcher parity** — coalesced solves are bitwise-identical to
+  sequential ``repro.solve`` calls in ``strict`` mode, and
+  rounding-level close in ``block`` mode.
+* **eviction hygiene** — dropping a cache entry releases the
+  factorization (weakref dies), unpins its rank pool, and leaves
+  ``/dev/shm`` exactly as found.
+* **fronts** — futures, blocking, and asyncio entry points agree.
+"""
+
+import gc
+import glob
+import threading
+import time
+import weakref
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import SolveConfig
+from repro.apps import LaplaceVolumeProblem
+from repro.service import FactorizationCache, ServiceConfig, SolveService
+from repro.tree import QuadTree
+from repro.vmpi import process_backend_available
+from repro.vmpi.pool import active_pools
+
+needs_process = pytest.mark.skipif(
+    not process_backend_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+
+def _shm_blocks() -> set:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture(scope="module")
+def prob():
+    return LaplaceVolumeProblem(24)
+
+
+@pytest.fixture(scope="module")
+def reference_xs(prob):
+    """Facade solutions for seeds 0..15 (the bitwise baseline)."""
+    return {i: repro.solve(prob, prob.random_rhs(i)).x for i in range(16)}
+
+
+# ----------------------------------------------------------------------
+# thundering herd / single flight
+# ----------------------------------------------------------------------
+def test_thundering_herd_single_factorization(prob, reference_xs):
+    """32 concurrent requests for one unfactored operator: one build."""
+    with SolveService(workers=32, batch_window=0.005, batch_mode="strict") as svc:
+        futures = [svc.submit(prob, prob.random_rhs(i % 16)) for i in range(32)]
+        reports = [f.result(timeout=120) for f in futures]
+        st = svc.stats()
+    assert st.factorizations == 1
+    assert st.cache_misses == 1
+    assert st.cache_hits == 31
+    assert st.single_flight_waits >= 1  # some arrived while the factor ran
+    assert st.completed == 32 and st.failed == 0
+    for i, r in enumerate(reports):
+        assert np.array_equal(r.x, reference_xs[i % 16])
+
+
+def test_single_flight_failure_propagates_and_caches_nothing():
+    bad = LaplaceVolumeProblem(16)
+    # a tree over the wrong point set makes srs_factor raise
+    bad.tree = QuadTree(np.array([[0.5, 0.5]]), 3)
+    with SolveService(workers=8, batch_window=0.0) as svc:
+        futures = [svc.submit(bad, bad.random_rhs(i)) for i in range(4)]
+        for f in futures:
+            with pytest.raises(ValueError, match="same point set"):
+                f.result(timeout=60)
+        assert svc.stats().failed == 4
+        assert len(svc.cache) == 0  # failed builds are never cached
+
+
+def test_cross_method_factorization_sharing(prob):
+    """direct and pcg share the srs setup family: one factorization."""
+    with SolveService(workers=4, batch_window=0.0) as svc:
+        r_direct = svc.solve(prob, prob.random_rhs(0))
+        r_pcg = svc.solve(prob, prob.random_rhs(1), method="pcg", tol=1e-10)
+        st = svc.stats()
+    assert st.factorizations == 1
+    assert r_direct.cache_hit is False
+    assert r_pcg.cache_hit is True
+    assert r_pcg.iterations > 0 and r_pcg.converged
+
+
+# ----------------------------------------------------------------------
+# batching
+# ----------------------------------------------------------------------
+def test_strict_batching_bitwise_parity(prob, reference_xs):
+    with SolveService(workers=16, batch_window=0.05, batch_mode="strict") as svc:
+        # warm the cache so the batch window is the only coalescing force
+        svc.solve(prob, prob.random_rhs(0))
+        futures = [svc.submit(prob, prob.random_rhs(i)) for i in range(16)]
+        reports = [f.result(timeout=120) for f in futures]
+        st = svc.stats()
+    assert st.batched_requests >= 16
+    assert st.max_batch_occupancy > 1  # the window actually coalesced
+    for i, r in enumerate(reports):
+        assert np.array_equal(r.x, reference_xs[i])
+        assert r.batch_size >= 1
+        assert r.iterations == 0 and r.converged
+        assert r.t_queue is not None and r.t_queue >= 0
+
+
+def test_block_batching_close_and_faster_shape(prob, reference_xs):
+    with SolveService(workers=16, batch_window=0.05, batch_mode="block") as svc:
+        svc.solve(prob, prob.random_rhs(0))
+        futures = [svc.submit(prob, prob.random_rhs(i)) for i in range(12)]
+        reports = [f.result(timeout=120) for f in futures]
+        st = svc.stats()
+    assert st.max_batch_occupancy > 1
+    for i, r in enumerate(reports):
+        ref = reference_xs[i]
+        rel = np.linalg.norm(r.x - ref) / np.linalg.norm(ref)
+        assert rel < 1e-12  # GEMM-vs-GEMV rounding only
+
+
+def test_block_batch_preserves_shapes_and_matrix_rhs(prob):
+    """(N,) and (N, k) requests coalesce and come back at their shapes."""
+    b1 = prob.random_rhs(1)
+    b2 = prob.random_rhs(2, nrhs=3)
+    with SolveService(workers=8, batch_window=0.05, batch_mode="block") as svc:
+        svc.solve(prob, prob.random_rhs(0))  # warm
+        f1 = svc.submit(prob, b1)
+        f2 = svc.submit(prob, b2)
+        x1, x2 = f1.result(timeout=120).x, f2.result(timeout=120).x
+    assert x1.shape == (prob.n,)
+    assert x2.shape == (prob.n, 3)
+    ref2 = repro.solve(prob, b2).x
+    assert np.linalg.norm(x2 - ref2) / np.linalg.norm(ref2) < 1e-12
+
+
+def test_batch_max_dispatches_early(prob):
+    with SolveService(workers=8, batch_window=5.0, batch_max=4, batch_mode="strict") as svc:
+        svc.solve(prob, prob.random_rhs(0))  # warm
+        t0 = time.perf_counter()
+        futures = [svc.submit(prob, prob.random_rhs(i)) for i in range(4)]
+        for f in futures:
+            f.result(timeout=60)
+        elapsed = time.perf_counter() - t0
+    # a full batch must not wait out the 5 s window
+    assert elapsed < 4.0
+
+
+def test_zero_window_disables_coalescing(prob):
+    with SolveService(workers=4, batch_window=0.0) as svc:
+        svc.solve(prob, prob.random_rhs(0))
+        futures = [svc.submit(prob, prob.random_rhs(i)) for i in range(4)]
+        for f in futures:
+            f.result(timeout=60)
+        st = svc.stats()
+    assert st.max_batch_occupancy == 1
+
+
+# ----------------------------------------------------------------------
+# cache eviction
+# ----------------------------------------------------------------------
+def test_eviction_frees_factorization(prob):
+    svc = SolveService(workers=2, batch_window=0.0)
+    r1 = svc.solve(prob, prob.random_rhs(0))
+    ref = weakref.ref(r1.factorization)
+    assert svc.stats().entries_resident == 1
+    svc.cache.max_bytes = 1  # shrink the budget: next insert evicts
+    other = LaplaceVolumeProblem(20)
+    svc.solve(other, other.random_rhs(0))
+    st = svc.stats()
+    assert st.evictions == 1
+    assert st.entries_resident == 1  # only the newcomer survives
+    svc.close()
+    del r1
+    gc.collect()
+    assert ref() is None  # nothing keeps the evicted factors alive
+
+
+def test_lru_order_and_byte_budget():
+    built = []
+    cache = FactorizationCache(max_bytes=250)
+
+    class Fact:
+        def __init__(self, tag):
+            self.tag = tag
+
+        def memory_bytes(self):
+            return 100
+
+    def builder(tag):
+        def build():
+            built.append(tag)
+            return Fact(tag)
+
+        return build
+
+    cache.get_or_build("a", builder("a"))
+    cache.get_or_build("b", builder("b"))
+    cache.get_or_build("a", builder("a2"))  # refresh a's recency
+    cache.get_or_build("c", builder("c"))  # 300 bytes > 250: evict LRU=b
+    assert built == ["a", "b", "c"]
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.evictions == 1
+    assert cache.bytes_resident == 200
+
+
+def test_build_finishing_after_close_is_released():
+    """A factorization completing post-close never stays pinned/resident."""
+    cache = FactorizationCache(max_bytes=1 << 20)
+    gate = threading.Event()
+    results = []
+
+    class Pool:
+        pins = 0
+
+        def pin(self):
+            Pool.pins += 1
+
+        def unpin(self):
+            Pool.pins -= 1
+
+    class Backend:
+        pool = Pool()
+
+    class Fact:
+        backend = Backend()
+
+        def memory_bytes(self):
+            return 10
+
+    def slow_build():
+        gate.wait(10)
+        return Fact()
+
+    t = threading.Thread(
+        target=lambda: results.append(cache.get_or_build("k", slow_build))
+    )
+    t.start()
+    time.sleep(0.05)  # let the flight start
+    cache.close()
+    gate.set()
+    t.join(10)
+    assert results and results[0].fact is not None  # the caller still gets it
+    assert len(cache) == 0  # but nothing stays resident
+    assert Pool.pins == 0  # and the pool pin was released
+
+
+def test_oversized_entry_stays_resident():
+    cache = FactorizationCache(max_bytes=10)
+
+    class Big:
+        def memory_bytes(self):
+            return 1000
+
+    lookup = cache.get_or_build("big", Big)
+    assert lookup.fact is not None
+    assert "big" in cache  # the newcomer is never evicted for itself
+
+
+@needs_process
+def test_process_eviction_frees_shm_and_unpins_pool(prob):
+    before = _shm_blocks()
+    cfg = SolveConfig(method="direct", execution="process", ranks=4)
+    svc = SolveService(workers=4, batch_window=0.005, batch_mode="strict")
+    r1 = svc.solve(prob, prob.random_rhs(0), cfg)
+    ref = repro.solve(prob, prob.random_rhs(0), cfg)
+    assert np.array_equal(r1.x, ref.x)
+    pools = [p for p in active_pools() if p.pinned]
+    assert pools, "cached process factorization must pin its pool"
+    fact_ref = weakref.ref(r1.factorization)
+    # evict by shrinking the budget and inserting another entry
+    svc.cache.max_bytes = 1
+    other = LaplaceVolumeProblem(16)
+    svc.solve(other, other.random_rhs(0), cfg)
+    assert svc.stats().evictions >= 1
+    svc.close()
+    del r1, ref
+    gc.collect()
+    assert fact_ref() is None
+    assert not any(p.pinned for p in active_pools())
+    assert _shm_blocks() == before  # eviction leaves /dev/shm as found
+
+
+@needs_process
+def test_pinned_pool_survives_registry_pressure(monkeypatch, prob):
+    """The pool LRU never tears down a pool backing a cached entry."""
+    import repro.vmpi.pool as pool_mod
+
+    cfg = SolveConfig(method="direct", execution="process", ranks=4)
+    with SolveService(workers=2, batch_window=0.0) as svc:
+        svc.solve(prob, prob.random_rhs(0), cfg)
+        pinned = [p for p in active_pools() if p.pinned]
+        assert len(pinned) == 1
+        monkeypatch.setattr(pool_mod, "vmpi_pool_max", lambda: 1)
+        # creating another pool shape would evict the LRU; the pinned
+        # pool must be skipped
+        other = pool_mod.get_pool(1, pinned[0].start_method, pinned[0].min_shm_bytes)
+        try:
+            assert pinned[0].alive
+        finally:
+            other.shutdown()
+
+
+# ----------------------------------------------------------------------
+# fronts and lifecycle
+# ----------------------------------------------------------------------
+def test_asyncio_front(prob, reference_xs):
+    import asyncio
+
+    async def main(svc):
+        reports = await asyncio.gather(
+            *(svc.asolve(prob, prob.random_rhs(i)) for i in range(6))
+        )
+        return reports
+
+    with SolveService(workers=8, batch_window=0.01, batch_mode="strict") as svc:
+        reports = asyncio.run(main(svc))
+    for i, r in enumerate(reports):
+        assert np.array_equal(r.x, reference_xs[i])
+
+
+def test_submit_validates_synchronously(prob):
+    with SolveService(workers=2) as svc:
+        with pytest.raises(ValueError, match="unknown solve method"):
+            svc.submit(prob, config=None, method="nope")
+        with pytest.raises(TypeError, match="Problem"):
+            svc.submit(object())
+        with pytest.raises(ValueError, match="symmetric"):
+            scat = repro.ScatteringProblem(16, 9.0)
+            svc.submit(scat, method="pcg")
+
+
+def test_closed_service_rejects(prob):
+    svc = SolveService(workers=2)
+    svc.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        svc.submit(prob)
+
+
+def test_default_rhs_and_report_shape(prob):
+    with SolveService(workers=2, batch_window=0.0) as svc:
+        report = svc.solve(prob)
+        d = report.to_dict()
+    assert d["cache_hit"] is False
+    assert d["batch_size"] == 1
+    assert "t_queue" in d
+    assert report.relres < 1e-2
+
+
+def test_stats_snapshot_sanity(prob):
+    with SolveService(workers=4, batch_window=0.01) as svc:
+        for i in range(8):
+            svc.solve(prob, prob.random_rhs(i))
+        st = svc.stats()
+    assert st.requests == 8 and st.completed == 8
+    assert 0 < st.hit_rate <= 7 / 8
+    assert st.p50_latency_s is not None and st.p95_latency_s >= st.p50_latency_s
+    assert st.bytes_resident > 0 and st.entries_resident == 1
+    d = st.to_dict()
+    assert d["hit_rate"] == st.hit_rate and "mean_batch_occupancy" in d
+
+
+def test_service_config_env_defaults(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_CACHE_BYTES", "12345")
+    monkeypatch.setenv("REPRO_SERVICE_BATCH_WINDOW_MS", "7.5")
+    monkeypatch.setenv("REPRO_SERVICE_BATCH_MAX", "9")
+    monkeypatch.setenv("REPRO_SERVICE_BATCH_MODE", "strict")
+    monkeypatch.setenv("REPRO_SERVICE_WORKERS", "3")
+    cfg = ServiceConfig()
+    assert cfg.cache_bytes == 12345
+    assert cfg.batch_window == pytest.approx(0.0075)
+    assert cfg.batch_max == 9
+    assert cfg.batch_mode == "strict"
+    assert cfg.workers == 3
+
+
+def test_service_config_validation():
+    with pytest.raises(ValueError, match="workers"):
+        ServiceConfig(workers=0)
+    with pytest.raises(ValueError, match="batch_max"):
+        ServiceConfig(batch_max=0)
+
+
+def test_concurrent_distinct_problems(prob):
+    """Different operators factor independently and never cross-talk."""
+    other = LaplaceVolumeProblem(20)
+    with SolveService(workers=8, batch_window=0.01, batch_mode="strict") as svc:
+        futures = []
+        for i in range(4):
+            futures.append((prob, i, svc.submit(prob, prob.random_rhs(i))))
+            futures.append((other, i, svc.submit(other, other.random_rhs(i))))
+        for p, i, f in futures:
+            r = f.result(timeout=120)
+            assert np.array_equal(r.x, repro.solve(p, p.random_rhs(i)).x)
+        st = svc.stats()
+    assert st.factorizations == 2
+    assert st.entries_resident == 2

@@ -1,0 +1,160 @@
+"""HTTP front tests: the JSON wire format over a live ThreadingHTTPServer."""
+
+import json
+import threading
+
+import http.client
+
+import numpy as np
+import pytest
+
+import repro
+from repro.service import SolveService
+from repro.service.http import build_problem, make_server
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = SolveService(workers=4, batch_window=0.005, batch_mode="strict")
+    srv = make_server(service)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    service.close()
+    thread.join(timeout=10)
+
+
+def _request(server, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.server_address[1], timeout=120)
+    try:
+        conn.request(
+            method,
+            path,
+            json.dumps(body) if body is not None else None,
+            {"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def test_healthz(server):
+    status, payload = _request(server, "GET", "/healthz")
+    assert status == 200 and payload == {"ok": True}
+
+
+def test_solve_roundtrip_matches_facade(server):
+    body = {
+        "problem": {"type": "laplace_volume", "m": 16},
+        "rhs": {"seed": 3},
+        "return_x": True,
+    }
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 200
+    report = payload["report"]
+    assert report["method"] == "direct" and report["converged"]
+    prob = repro.LaplaceVolumeProblem(16)
+    ref = repro.solve(prob, prob.random_rhs(3))
+    assert np.allclose(np.asarray(payload["x"]), ref.x, rtol=1e-12, atol=0)
+    assert report["relres"] == pytest.approx(ref.relres, rel=1e-6)
+
+
+def test_repeated_requests_hit_the_cache(server):
+    body = {"problem": {"type": "laplace_volume", "m": 16}, "rhs": {"seed": 0}}
+    _request(server, "POST", "/solve", body)
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 200
+    assert payload["report"]["cache_hit"] is True
+    status, stats = _request(server, "GET", "/stats")
+    assert status == 200
+    assert stats["factorizations"] >= 1
+    assert stats["cache_hits"] >= 1
+    assert 0 < stats["hit_rate"] <= 1
+
+
+def test_complex_problem_and_pgmres(server):
+    body = {
+        "problem": {"type": "scattering", "m": 16, "kappa": 9.0},
+        "method": "pgmres",
+        "tol": 1e-10,
+        "return_x": True,
+    }
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 200
+    assert payload["report"]["iterations"] > 0
+    x = payload["x"]
+    assert "re" in x and "im" in x  # complex encoding
+    assert len(x["re"]) == 256
+
+
+def test_explicit_rhs_values(server):
+    n = 256
+    values = [float(i) / n for i in range(n)]
+    body = {
+        "problem": {"type": "laplace_volume", "m": 16},
+        "rhs": {"values": values},
+        "return_x": True,
+    }
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 200
+    prob = repro.LaplaceVolumeProblem(16)
+    ref = repro.solve(prob, np.asarray(values))
+    assert np.allclose(np.asarray(payload["x"]), ref.x, rtol=1e-12, atol=0)
+
+
+def test_bie_problem_spec(server):
+    body = {
+        "problem": {
+            "type": "interior_dirichlet",
+            "n": 256,
+            "curve": {"type": "star", "amplitude": 0.3, "arms": 5},
+        },
+        "srs": {"tol": 1e-10},
+    }
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 200
+    assert payload["report"]["relres"] < 1e-6
+
+
+def test_bad_requests(server):
+    status, payload = _request(server, "POST", "/solve", {"problem": {"type": "nope"}})
+    assert status == 400 and "unknown problem type" in payload["error"]
+    status, payload = _request(server, "POST", "/solve", {"problem": {}})
+    assert status == 400
+    status, payload = _request(
+        server, "POST", "/solve", {"problem": {"type": "laplace_volume", "m": 16}, "method": "bogus"}
+    )
+    assert status == 400 and "unknown solve method" in payload["error"]
+    status, _ = _request(server, "GET", "/nope")
+    assert status == 404
+    status, _ = _request(server, "POST", "/nope", {})
+    assert status == 404
+
+
+def test_request_shaped_solver_errors_map_to_400(server):
+    # pcg on a non-symmetric problem: rejected by the service's
+    # compatibility check — the client's fault, so a 400
+    body = {
+        "problem": {"type": "scattering", "m": 16, "kappa": 9.0},
+        "method": "pcg",
+    }
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 400 and "symmetric" in payload["error"]
+    # wrong rhs length: also a client error
+    body = {
+        "problem": {"type": "laplace_volume", "m": 16},
+        "rhs": {"values": [1.0, 2.0, 3.0]},
+    }
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 400 and "rows" in payload["error"]
+
+
+def test_build_problem_cache_reuses_instances(server):
+    spec = {"type": "laplace_volume", "m": 16}
+    assert server.problem_for(dict(spec)) is server.problem_for(dict(spec))
+    fresh = build_problem(spec)
+    assert fresh is not server.problem_for(spec)
+    assert fresh.fingerprint() == server.problem_for(spec).fingerprint()
