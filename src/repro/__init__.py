@@ -33,6 +33,7 @@ them directly.
 """
 
 from repro.api import Problem, SolveConfig, SolveReport, Solver, solve
+from repro.obs import REGISTRY, render_prometheus, trace
 from repro.service import ServiceConfig, SolveService
 from repro.core import SRSFactorization, SRSOptions, srs_factor
 from repro.parallel import (
@@ -71,6 +72,9 @@ __all__ = [
     "SolveService",
     "ServiceConfig",
     "Problem",
+    "trace",
+    "REGISTRY",
+    "render_prometheus",
     "SRSFactorization",
     "SRSOptions",
     "srs_factor",

@@ -28,6 +28,18 @@ from repro.api.config import SolveConfig
 from repro.api.problem import check_problem
 from repro.api.report import SolveReport
 from repro.api.strategies import resolve_execution, resolve_strategy
+from repro.obs import REGISTRY, trace
+
+_SOLVES = REGISTRY.counter(
+    "repro_solve_total",
+    "Facade solves by method and execution",
+    labelnames=("method", "execution"),
+)
+_ITERATIONS = REGISTRY.counter(
+    "repro_solve_iterations_total",
+    "Refinement/Krylov iterations spent by method",
+    labelnames=("method",),
+)
 
 
 def _make_config(config: SolveConfig | None, overrides: dict) -> SolveConfig:
@@ -116,16 +128,26 @@ def solve(
     if rhs.shape[0] != problem.n:
         raise ValueError(f"rhs has {rhs.shape[0]} rows, expected {problem.n}")
 
-    if factorization is None:
-        t0 = time.perf_counter()
-        fact = strategy.setup(problem, config)
-        t_setup = time.perf_counter() - t0
-    else:
-        fact, t_setup = factorization, 0.0
+    with trace.span(
+        "solve", method=config.method, execution=execution, n=problem.n
+    ) as root:
+        if factorization is None:
+            t0 = time.perf_counter()
+            with trace.span("solve.setup", method=config.method):
+                fact = strategy.setup(problem, config)
+            t_setup = time.perf_counter() - t0
+        else:
+            fact, t_setup = factorization, 0.0
 
-    t0 = time.perf_counter()
-    out = strategy.run(problem, rhs, fact, config, operator)
-    t_solve = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with trace.span("solve.run", method=config.method):
+            out = strategy.run(problem, rhs, fact, config, operator)
+        t_solve = time.perf_counter() - t0
+        root.set(iterations=out.iterations, converged=out.converged)
+
+    _SOLVES.inc(method=config.method, execution=execution)
+    if out.iterations:
+        _ITERATIONS.inc(out.iterations, method=config.method)
 
     return SolveReport(
         x=out.x,
@@ -178,7 +200,8 @@ class Solver:
         """The cached setup product, built on first access."""
         if self._fact is None:
             t0 = time.perf_counter()
-            self._fact = self._strategy.setup(self.problem, self.config)
+            with trace.span("solve.setup", method=self.config.method):
+                self._fact = self._strategy.setup(self.problem, self.config)
             self.setup_time = time.perf_counter() - t0
         return self._fact
 

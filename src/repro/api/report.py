@@ -82,6 +82,12 @@ class SolveReport:
     batch_size: int | None = None
     #: seconds between request submission and the start of its solve
     t_queue: float | None = None
+    #: request id assigned by the service (echoed by the HTTP front)
+    request_id: str | None = None
+    #: per-request phase spans stamped by the service: a list of
+    #: ``{"name": ..., "seconds": ...}`` dicts covering the
+    #: queue -> factor -> solve pipeline of this request
+    spans: list | None = None
     krylov: Any | None = field(default=None, repr=False)
     config: Any | None = field(default=None, repr=False)
     factorization: Any | None = field(default=None, repr=False)
@@ -139,6 +145,13 @@ class SolveReport:
             out["batch_size"] = int(self.batch_size)
         if self.t_queue is not None:
             out["t_queue"] = float(self.t_queue)
+        if self.request_id is not None:
+            out["request_id"] = str(self.request_id)
+        if self.spans is not None:
+            out["spans"] = [
+                {"name": str(s["name"]), "seconds": float(s["seconds"])}
+                for s in self.spans
+            ]
         if include_relres:
             out["relres"] = self.relres
         if self.krylov is not None:

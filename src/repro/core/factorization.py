@@ -21,8 +21,15 @@ from repro.core.proxy import proxy_points_for_box
 from repro.core.skel import BoxRecord, skeletonize_box
 from repro.core.stats import RankStats
 from repro.kernels.base import KernelMatrix
+from repro.obs import REGISTRY, trace
 from repro.tree.quadtree import QuadTree
 from repro.util.timing import TimingBreakdown
+
+_BOXES_FACTORED = REGISTRY.counter(
+    "repro_factor_boxes_total",
+    "Boxes skeletonized per quadtree level",
+    labelnames=("level",),
+)
 
 
 @dataclass
@@ -120,20 +127,22 @@ def srs_factor(
     }
     seed_blocks: dict[PairKey, np.ndarray] | None = None
 
-    for level in range(tree.nlevels, 0, -1):
-        store = InteractionStore(
-            kernel,
-            active,
-            blocks=seed_blocks,
-            max_modified_distance=2 if opts.check_locality else None,
-        )
-        factor_level(fact, store, kernel, tree, level, opts)
-        if level > 1:
-            active, seed_blocks = transition_to_parent(store, tree, level)
-        else:
-            remaining = sum(v.size for v in store.active.values())
-            if remaining:  # pragma: no cover - indicates an algorithmic bug
-                raise RuntimeError(f"{remaining} indices survived the root level")
+    with trace.span("factor", n=kernel.n, levels=tree.nlevels):
+        for level in range(tree.nlevels, 0, -1):
+            store = InteractionStore(
+                kernel,
+                active,
+                blocks=seed_blocks,
+                max_modified_distance=2 if opts.check_locality else None,
+            )
+            factor_level(fact, store, kernel, tree, level, opts)
+            if level > 1:
+                with trace.span("factor.transition", level=level):
+                    active, seed_blocks = transition_to_parent(store, tree, level)
+            else:
+                remaining = sum(v.size for v in store.active.values())
+                if remaining:  # pragma: no cover - indicates an algorithmic bug
+                    raise RuntimeError(f"{remaining} indices survived the root level")
 
     if fact.eliminated_count() != kernel.n:  # pragma: no cover - invariant
         raise RuntimeError(
@@ -163,7 +172,10 @@ def factor_level(
     has_far_field = tree.nside(level) >= 4
     side = tree.box_side(level)
     todo = boxes if boxes is not None else tree.boxes(level)
-    with fact.timings.measure(f"level_{level}"):
+    factored = 0
+    with fact.timings.measure(f"level_{level}"), trace.span(
+        "factor.level", level=level, boxes=len(todo)
+    ) as lspan:
         for box in todo:
             if box not in store.active:
                 continue
@@ -183,8 +195,12 @@ def factor_level(
                 task_times.append((level, box, _time.perf_counter() - t0))
             if rec is None:
                 continue
+            factored += 1
             fact.stats.record(level, size_before, rec.rank)
             fact.records.append(rec)
+        lspan.set(factored=factored)
+    if factored:
+        _BOXES_FACTORED.inc(factored, level=str(level))
 
 
 def transition_to_parent(

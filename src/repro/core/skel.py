@@ -25,6 +25,17 @@ from repro.core.options import SRSOptions
 from repro.kernels.base import KernelMatrix
 from repro.linalg.interpolative import interp_decomp
 from repro.linalg.lu import PartialLU
+from repro.obs import COUNT_BUCKETS, REGISTRY, trace
+
+_ID_COMPRESSIONS = REGISTRY.counter(
+    "repro_id_compressions_total",
+    "Interpolative decompositions performed during factorization",
+)
+_SKELETON_RANK = REGISTRY.histogram(
+    "repro_skeleton_rank",
+    "Skeleton count kept per compressed box",
+    buckets=COUNT_BUCKETS,
+)
 
 
 @dataclass
@@ -159,8 +170,31 @@ def skeletonize_box(
     nbrs = [n for n in neighbors if n in store.active and store.nactive(n) > 0]
 
     # -- 1. compression ------------------------------------------------
-    stacked = _compression_matrix(store, kernel, box, m_boxes, proxy_points)
-    dec = interp_decomp(stacked, opts.tol, method=opts.id_method)
+    with trace.span("factor.skeletonize", level=level, box=str(box), size=int(bidx.size)):
+        with trace.span("factor.id", rows=int(bidx.size)):
+            stacked = _compression_matrix(store, kernel, box, m_boxes, proxy_points)
+            dec = interp_decomp(stacked, opts.tol, method=opts.id_method)
+        _ID_COMPRESSIONS.inc()
+        _SKELETON_RANK.observe(dec.skeleton.size)
+        return _eliminate_box(
+            store, box, bidx, nbrs, dec, stacked.dtype, opts,
+            level=level, update_log=update_log,
+        )
+
+
+def _eliminate_box(
+    store: InteractionStore,
+    box: Coord,
+    bidx: np.ndarray,
+    nbrs: list[Coord],
+    dec,
+    dtype,
+    opts: SRSOptions,
+    *,
+    level: int,
+    update_log: list | None = None,
+) -> BoxRecord | None:
+    """Partial-LU elimination + Schur updates for one compressed box."""
     s_loc, r_loc, t_mat = dec.skeleton, dec.redundant, dec.T
     if r_loc.size == 0:
         # nothing to eliminate; keep the box as is
@@ -171,9 +205,9 @@ def skeletonize_box(
             bidx[s_loc],
             np.empty(0, dtype=np.int64),
             t_mat,
-            PartialLU(np.zeros((0, 0), dtype=stacked.dtype)),
-            np.zeros((0, 0), dtype=stacked.dtype),
-            np.zeros((0, 0), dtype=stacked.dtype),
+            PartialLU(np.zeros((0, 0), dtype=dtype)),
+            np.zeros((0, 0), dtype=dtype),
+            np.zeros((0, 0), dtype=dtype),
             [],
         )
     t_h = t_mat.conj().T

@@ -29,11 +29,26 @@ Structure:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.proxy import proxy_circle
 from repro.kernels.base import KernelMatrix
+from repro.obs import REGISTRY, trace
 from repro.tree.quadtree import QuadTree
+
+_MATVECS = REGISTRY.counter(
+    "repro_treecode_matvecs_total", "Treecode matrix-vector applications"
+)
+_NEAR_SECONDS = REGISTRY.counter(
+    "repro_treecode_near_seconds_total",
+    "Wall time in treecode near-field (direct block) evaluation",
+)
+_FAR_SECONDS = REGISTRY.counter(
+    "repro_treecode_far_seconds_total",
+    "Wall time in treecode far-field (equivalent density) evaluation",
+)
 
 Coord = tuple[int, int]
 
@@ -156,39 +171,52 @@ class TreecodeMatVec:
         leaf = tree.nlevels
         out_dtype = np.result_type(self.dtype, x.dtype)
 
+        _MATVECS.inc()
         # upward pass: equivalent densities
         density: dict[tuple[int, Coord], np.ndarray] = {}
-        for box in self._nonempty[leaf]:
-            idx, op = self._s2e[(leaf, box)]
-            density[(leaf, box)] = op @ x[idx]
-        for level in range(leaf - 1, 1, -1):
-            for box in self._nonempty[level]:
-                q = np.zeros((self.n_equiv, x.shape[1]), dtype=out_dtype)
-                for child, op in self._m2m[(level, box)]:
-                    q = q + op @ density[(level + 1, child)]
-                density[(level, box)] = q
+        with trace.span("treecode.upward", n=kernel.n, nrhs=x.shape[1]):
+            for box in self._nonempty[leaf]:
+                idx, op = self._s2e[(leaf, box)]
+                density[(leaf, box)] = op @ x[idx]
+            for level in range(leaf - 1, 1, -1):
+                for box in self._nonempty[level]:
+                    q = np.zeros((self.n_equiv, x.shape[1]), dtype=out_dtype)
+                    for child, op in self._m2m[(level, box)]:
+                        q = q + op @ density[(level + 1, child)]
+                    density[(level, box)] = q
 
-        # evaluation
+        # evaluation — near and far field interleave per target leaf, so
+        # the phases are reported as accumulated seconds, not one span each
         y = np.zeros((kernel.n, x.shape[1]), dtype=out_dtype)
         nonempty_by_level = {lvl: set(boxes) for lvl, boxes in self._nonempty.items()}
-        for box in self._nonempty[leaf]:
-            tidx = tree.leaf_points(*box)
-            targets = kernel.points[tidx]
-            # near field: direct kernel blocks (self + neighbors)
-            for nb in [box] + tree.neighbors(leaf, *box):
-                if nb not in nonempty_by_level[leaf]:
-                    continue
-                sidx = tree.leaf_points(*nb)
-                y[tidx] += kernel.block(tidx, sidx) @ x[sidx]
-            # far field: interaction lists up the tree
-            anc = box
-            for level in range(leaf, 1, -1):
-                for far in _interaction_list(tree, level, anc):
-                    if far not in nonempty_by_level.get(level, ()):
+        near_s = far_s = 0.0
+        with trace.span("treecode.eval", n=kernel.n, nrhs=x.shape[1]) as espan:
+            for box in self._nonempty[leaf]:
+                tidx = tree.leaf_points(*box)
+                targets = kernel.points[tidx]
+                # near field: direct kernel blocks (self + neighbors)
+                t0 = time.perf_counter()
+                for nb in [box] + tree.neighbors(leaf, *box):
+                    if nb not in nonempty_by_level[leaf]:
                         continue
-                    eq = self._equiv_pts[(level, far)]
-                    y[tidx] += kernel.proxy_col_block(tidx, eq) @ density[(level, far)]
-                anc = (anc[0] >> 1, anc[1] >> 1)
+                    sidx = tree.leaf_points(*nb)
+                    y[tidx] += kernel.block(tidx, sidx) @ x[sidx]
+                t1 = time.perf_counter()
+                # far field: interaction lists up the tree
+                anc = box
+                for level in range(leaf, 1, -1):
+                    for far in _interaction_list(tree, level, anc):
+                        if far not in nonempty_by_level.get(level, ()):
+                            continue
+                        eq = self._equiv_pts[(level, far)]
+                        y[tidx] += kernel.proxy_col_block(tidx, eq) @ density[(level, far)]
+                    anc = (anc[0] >> 1, anc[1] >> 1)
+                t2 = time.perf_counter()
+                near_s += t1 - t0
+                far_s += t2 - t1
+            espan.set(near_seconds=near_s, far_seconds=far_s)
+        _NEAR_SECONDS.inc(near_s)
+        _FAR_SECONDS.inc(far_s)
         return y[:, 0] if single else y
 
     __call__ = matvec

@@ -1,0 +1,50 @@
+"""Observability: span tracing, typed metrics, structured request logs.
+
+Three surfaces over one instrumentation layer:
+
+* ``trace`` — the process-wide :class:`~repro.obs.tracer.Tracer`.
+  ``with trace.span("factor.level", level=3): ...`` records nested
+  spans when ``REPRO_OBS=on`` (off by default; disabled spans are a
+  shared no-op). ``trace.export_chrome(path)`` writes the timeline as
+  Chrome ``trace_event`` JSON; ``REPRO_OBS_TRACE_PATH`` autosaves at
+  process exit.
+* ``REGISTRY`` — the default :class:`~repro.obs.metrics.MetricsRegistry`
+  of counters/gauges/histograms, always live, rendered by the service's
+  ``GET /metrics`` in Prometheus text exposition format.
+* ``log_event`` — structured JSON request-log lines on the
+  ``repro.requests`` logger.
+"""
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.tracer import Span, Tracer, chrome_trace, trace
+from repro.obs.logs import enable_stderr_logs, log_event
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "enable_stderr_logs",
+    "log_event",
+    "parse_prometheus",
+    "render_prometheus",
+    "trace",
+]

@@ -1,0 +1,42 @@
+"""Structured JSON request logs.
+
+One line per event on the ``repro.requests`` logger: a flat JSON object
+with stable keys (``event``, ``request_id``, ``status``, plus whatever
+the caller adds). Nothing is emitted unless the host process configures
+logging (``logging.basicConfig(level=logging.INFO)`` or
+:func:`enable_stderr_logs`), so the default cost is one disabled-logger
+check per request.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any
+
+LOGGER = logging.getLogger("repro.requests")
+
+
+def log_event(event: str, **fields: Any) -> None:
+    """Emit one structured JSON log line (INFO) for ``event``."""
+    if not LOGGER.isEnabledFor(logging.INFO):
+        return
+    record = {"event": event, "ts": round(time.time(), 6)}
+    for key, value in fields.items():
+        if value is None:
+            continue
+        if isinstance(value, float):
+            value = round(value, 9)
+        record[key] = value
+    LOGGER.info(json.dumps(record, sort_keys=True, default=str))
+
+
+def enable_stderr_logs(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the request logger (idempotent-ish:
+    callers should hold on to the returned handler to remove it)."""
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    LOGGER.addHandler(handler)
+    LOGGER.setLevel(level)
+    return handler

@@ -37,6 +37,7 @@ from repro.core.stats import RankStats
 from repro.geometry.domain import Square
 from repro.geometry.morton import morton_encode
 from repro.kernels.base import KernelMatrix
+from repro.obs import trace
 from repro.parallel.localkernel import LocalKernel
 from repro.parallel.ownership import LevelLayout
 from repro.tree.quadtree import QuadTree
@@ -186,40 +187,44 @@ def factor_worker(
         # -- phase 1: interior boxes ------------------------------------
         i0 = len(records)
         interior_log: list = []
-        with comm.clock.compute():
-            _factor_boxes(
-                records, stats, store, local, geometry, level, interior, opts, interior_log
-            )
+        with trace.span("factor.interior", level=level, boxes=len(interior)):
+            with comm.clock.compute():
+                _factor_boxes(
+                    records, stats, store, local, geometry, level, interior, opts, interior_log
+                )
         i1 = len(records)
 
         # -- phase 1.5: interior-restriction exchange --------------------
-        restricts = [op for op in interior_log if op[0] == "restrict"]
-        for w in nbr_ranks:
-            ops = [op for op in restricts if layout.region_distance(op[1], w) <= 2]
-            comm.send(ops, w, tag=_tag(TAG_INTERIOR, level))
-        for w in nbr_ranks:
-            ops = comm.recv(w, tag=_tag(TAG_INTERIOR, level))
-            with comm.clock.compute():
-                _apply_ops(store, ops, layout, comm.rank)
+        with trace.span("factor.exchange", level=level):
+            restricts = [op for op in interior_log if op[0] == "restrict"]
+            for w in nbr_ranks:
+                ops = [op for op in restricts if layout.region_distance(op[1], w) <= 2]
+                comm.send(ops, w, tag=_tag(TAG_INTERIOR, level))
+            for w in nbr_ranks:
+                ops = comm.recv(w, tag=_tag(TAG_INTERIOR, level))
+                with comm.clock.compute():
+                    _apply_ops(store, ops, layout, comm.rank)
 
         # -- phase 2: color loop over boundary boxes ---------------------
         for color in colors:
-            if color == my_color:
-                log: list = []
-                with comm.clock.compute():
-                    _factor_boxes(
-                        records, stats, store, local, geometry, level, boundary, opts, log
-                    )
-                for w in nbr_ranks:
-                    comm.send(
-                        _filter_ops(log, w, layout), w, tag=_tag(TAG_COLOR, level, color)
-                    )
-            else:
-                for w in nbr_ranks:
-                    if layout.color(w) == color:
-                        ops = comm.recv(w, tag=_tag(TAG_COLOR, level, color))
-                        with comm.clock.compute():
-                            _apply_ops(store, ops, layout, comm.rank)
+            with trace.span("factor.color", level=level, color=color,
+                            mine=color == my_color):
+                if color == my_color:
+                    log: list = []
+                    with comm.clock.compute():
+                        _factor_boxes(
+                            records, stats, store, local, geometry, level, boundary, opts, log
+                        )
+                    for w in nbr_ranks:
+                        comm.send(
+                            _filter_ops(log, w, layout), w, tag=_tag(TAG_COLOR, level, color)
+                        )
+                else:
+                    for w in nbr_ranks:
+                        if layout.color(w) == color:
+                            ops = comm.recv(w, tag=_tag(TAG_COLOR, level, color))
+                            with comm.clock.compute():
+                                _apply_ops(store, ops, layout, comm.rank)
         i2 = len(records)
 
         plan = LevelPlan(
@@ -285,7 +290,7 @@ def factor_worker(
         )
 
         # -- parent assembly ----------------------------------------------
-        with comm.clock.compute():
+        with trace.span("factor.transition", level=level), comm.clock.compute():
             active, seed_blocks, own_boxes = _assemble_parent(
                 store, geometry, level, own_boxes
             )

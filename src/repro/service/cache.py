@@ -27,6 +27,13 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, NamedTuple
 
+from repro.obs import REGISTRY
+
+_EVICTIONS = REGISTRY.counter(
+    "repro_service_cache_evictions_total",
+    "Factorizations dropped by the cache LRU byte-budget policy",
+)
+
 
 def _backend_pool(fact: Any):
     """The RankPool backing a factorization, or ``None``."""
@@ -196,6 +203,7 @@ class FactorizationCache:
                     break  # only in-flight entries or the newcomer left
                 evicted.append(self._entries.pop(victim_key))
                 self.evictions += 1
+                _EVICTIONS.inc()
         for entry in evicted:
             self._release(entry)
 
@@ -207,6 +215,7 @@ class FactorizationCache:
                 return False
             del self._entries[key]
             self.evictions += 1
+            _EVICTIONS.inc()
         self._release(entry)
         return True
 

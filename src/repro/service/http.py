@@ -22,11 +22,21 @@ Routes
           "relres": true                       # evaluate the true residual
         }
 
-    Response: ``{"report": SolveReport.to_dict(), "x": ...?}``.
+    Response: ``{"report": SolveReport.to_dict(), "request_id": ..., "x": ...?}``.
 ``GET /stats``
     The service's :class:`~repro.service.stats.ServiceStats` as JSON.
+``GET /metrics``
+    The process-wide metrics registry in Prometheus text exposition
+    format 0.0.4 (cache residency gauges are refreshed per scrape).
 ``GET /healthz``
     ``{"ok": true}`` — liveness probe.
+
+Every response carries an ``X-Request-Id`` header (client-supplied
+``request_id`` body field, or a fresh hex id); errors are structured as
+``{"error": ..., "code": ..., "request_id": ...}`` with ``code`` one of
+``bad_json`` / ``unknown_field`` / ``bad_field`` / ``not_found`` /
+``solver_error`` / ``internal``, plus a ``field`` key when a specific
+body field is at fault.
 
 Problem specs are built through a registry (:data:`PROBLEM_TYPES`) and
 cached (LRU) by their canonical JSON, so repeated requests for the same
@@ -38,6 +48,7 @@ from __future__ import annotations
 
 import json
 import threading
+import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
@@ -46,6 +57,7 @@ import numpy as np
 
 from repro.api.config import SolveConfig
 from repro.core.options import SRSOptions
+from repro.obs import REGISTRY, log_event, render_prometheus
 from repro.service.service import SolveService
 
 #: most distinct problem objects kept alive by one server
@@ -53,6 +65,33 @@ PROBLEM_CACHE_SIZE = 32
 
 #: SolveConfig fields settable through the request body
 _CONFIG_KEYS = ("method", "execution", "ranks", "tol", "maxiter", "restart", "operator")
+
+#: every key a /solve body may carry; anything else is rejected with
+#: an ``unknown_field`` error naming the offender
+_ALLOWED_KEYS = frozenset(
+    _CONFIG_KEYS + ("problem", "rhs", "srs", "return_x", "relres", "request_id")
+)
+
+_CACHE_BYTES = REGISTRY.gauge(
+    "repro_service_cache_bytes", "Bytes resident in the factorization cache"
+)
+_CACHE_ENTRIES = REGISTRY.gauge(
+    "repro_service_cache_entries", "Entries resident in the factorization cache"
+)
+
+
+class RequestError(ValueError):
+    """A client-shaped failure with a structured error code.
+
+    Raised by body validation; carries the machine-readable ``code``
+    (and the offending ``field``, when one is identifiable) that the
+    HTTP front serializes into the error payload.
+    """
+
+    def __init__(self, message: str, *, code: str = "bad_field", field: str | None = None):
+        super().__init__(message)
+        self.code = code
+        self.field = field
 
 
 def _build_curve(spec: dict):
@@ -148,8 +187,38 @@ def _encode_x(x: np.ndarray):
 def _decode_config(body: dict) -> SolveConfig:
     overrides = {k: body[k] for k in _CONFIG_KEYS if k in body}
     if "srs" in body:
+        if not isinstance(body["srs"], dict):
+            raise RequestError("srs must be an object of SRSOptions fields", field="srs")
         overrides["srs"] = SRSOptions(**body["srs"])
     return SolveConfig(**overrides)
+
+
+def _checked(field: str, fn):
+    """Run one body-field decoder, tagging failures with the field name."""
+    try:
+        return fn()
+    except RequestError:
+        raise
+    except (ValueError, TypeError, KeyError) as exc:
+        raise RequestError(f"{field}: {exc}", field=field) from exc
+
+
+def _parse_body(raw: bytes) -> dict:
+    """Decode and shape-check a /solve body (JSON object, known keys)."""
+    try:
+        body = json.loads(raw or b"{}")
+    except json.JSONDecodeError as exc:
+        raise RequestError(f"request body is not valid JSON: {exc}", code="bad_json")
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object", code="bad_json")
+    unknown = sorted(set(body) - _ALLOWED_KEYS)
+    if unknown:
+        raise RequestError(
+            f"unknown field {unknown[0]!r}; allowed fields: {sorted(_ALLOWED_KEYS)}",
+            code="unknown_field",
+            field=unknown[0],
+        )
+    return body
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -189,49 +258,108 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # noqa: D102 - stdlib signature
         pass
 
-    def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+    def _reply_raw(self, status: int, body: bytes, content_type: str, request_id: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply(self, status: int, payload: dict, request_id: str) -> None:
+        self._reply_raw(
+            status, json.dumps(payload).encode(), "application/json", request_id
+        )
+
+    def _reply_error(
+        self,
+        status: int,
+        message: str,
+        code: str,
+        request_id: str,
+        field: str | None = None,
+    ) -> None:
+        payload = {"error": message, "code": code, "request_id": request_id}
+        if field is not None:
+            payload["field"] = field
+        log_event(
+            "http_reject",
+            request_id=request_id,
+            status=status,
+            code=code,
+            field=field,
+            error=message,
+        )
+        self._reply(status, payload, request_id)
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        request_id = uuid.uuid4().hex[:12]
         if self.path == "/healthz":
-            self._reply(200, {"ok": True})
+            self._reply(200, {"ok": True}, request_id)
         elif self.path == "/stats":
-            self._reply(200, self.server.service.stats().to_dict())
+            self._reply(200, self.server.service.stats().to_dict(), request_id)
+        elif self.path == "/metrics":
+            # residency gauges are point-in-time; refresh them per scrape
+            stats = self.server.service.stats()
+            _CACHE_BYTES.set(stats.bytes_resident)
+            _CACHE_ENTRIES.set(stats.entries_resident)
+            self._reply_raw(
+                200,
+                render_prometheus().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+                request_id,
+            )
         else:
-            self._reply(404, {"error": f"unknown path {self.path}"})
+            self._reply_error(
+                404, f"unknown path {self.path}", "not_found", request_id
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        request_id = uuid.uuid4().hex[:12]
         if self.path != "/solve":
-            self._reply(404, {"error": f"unknown path {self.path}"})
+            self._reply_error(404, f"unknown path {self.path}", "not_found", request_id)
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
-            body = json.loads(self.rfile.read(length) or b"{}")
-            problem = self.server.problem_for(body.get("problem", {}))
-            rhs = _decode_rhs(problem, body.get("rhs"))
-            config = _decode_config(body)
-        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as exc:
-            self._reply(400, {"error": str(exc)})
+            body = _parse_body(self.rfile.read(length))
+            rid = body.get("request_id")
+            if rid is not None:
+                if not isinstance(rid, str) or not rid:
+                    raise RequestError(
+                        "request_id must be a non-empty string", field="request_id"
+                    )
+                request_id = rid
+            problem = _checked(
+                "problem", lambda: self.server.problem_for(body.get("problem", {}))
+            )
+            rhs = _checked("rhs", lambda: _decode_rhs(problem, body.get("rhs")))
+            config = _checked("config", lambda: _decode_config(body))
+        except RequestError as exc:
+            self._reply_error(400, str(exc), exc.code, request_id, exc.field)
             return
         try:
-            report = self.server.service.solve(problem, rhs, config)
+            report = self.server.service.solve(
+                problem, rhs, config, request_id=request_id
+            )
         except (ValueError, TypeError) as exc:
             # request-shaped failures (bad rhs length, method/problem
             # incompatibility) are the client's fault
-            self._reply(400, {"error": f"{type(exc).__name__}: {exc}"})
+            self._reply_error(
+                400, f"{type(exc).__name__}: {exc}", "solver_error", request_id
+            )
             return
         except Exception as exc:  # noqa: BLE001 - wire boundary
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._reply_error(
+                500, f"{type(exc).__name__}: {exc}", "internal", request_id
+            )
             return
-        payload = {"report": report.to_dict(include_relres=bool(body.get("relres", True)))}
+        payload = {
+            "request_id": request_id,
+            "report": report.to_dict(include_relres=bool(body.get("relres", True))),
+        }
         if body.get("return_x", False):
             payload["x"] = _encode_x(report.x)
-        self._reply(200, payload)
+        self._reply(200, payload, request_id)
 
 
 def make_server(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -34,6 +35,7 @@ from repro.api.fingerprint import problem_fingerprint
 from repro.api.problem import check_problem
 from repro.api.report import SolveReport
 from repro.api.strategies import resolve_execution, resolve_strategy
+from repro.obs import log_event, trace
 from repro.service.batcher import RhsBatcher
 from repro.service.cache import FactorizationCache
 from repro.service.stats import ServiceStats, StatsCollector
@@ -86,14 +88,15 @@ class ServiceConfig:
 
 
 class _Request:
-    __slots__ = ("problem", "b", "config", "future", "t_submit")
+    __slots__ = ("problem", "b", "config", "future", "t_submit", "request_id")
 
-    def __init__(self, problem, b, config: SolveConfig):
+    def __init__(self, problem, b, config: SolveConfig, request_id: str | None = None):
         self.problem = problem
         self.b = b
         self.config = config
         self.future: Future = Future()
         self.t_submit = time.perf_counter()
+        self.request_id = request_id or uuid.uuid4().hex[:12]
 
 
 class SolveService:
@@ -134,13 +137,15 @@ class SolveService:
         problem,
         b: np.ndarray | None = None,
         config: SolveConfig | None = None,
+        request_id: str | None = None,
         **overrides,
     ) -> "Future[SolveReport]":
         """Enqueue one solve; returns a future resolving to its report.
 
         Validation (unknown problem/method/execution, incompatible
         problem) raises here, synchronously; numerical failures surface
-        through the future.
+        through the future. ``request_id`` (defaulting to a fresh hex
+        id) is stamped on the report and every log line of this request.
         """
         if self._closed.is_set():
             raise RuntimeError("SolveService is closed")
@@ -149,7 +154,7 @@ class SolveService:
         strategy = resolve_strategy(cfg.method)
         strategy.check_execution(cfg)
         strategy.check_compatible(problem, cfg)
-        req = _Request(problem, b, cfg)
+        req = _Request(problem, b, cfg, request_id)
         self._stats.incr("requests")
         self._executor.submit(self._process, req)
         return req.future
@@ -227,74 +232,120 @@ class SolveService:
         if b.shape[0] != problem.n:
             raise ValueError(f"rhs has {b.shape[0]} rows, expected {problem.n}")
 
-        strategy = resolve_strategy(cfg.method)
-        key = (problem_fingerprint(problem), strategy.setup_key(cfg))
-        lookup = self._cache.get_or_build(key, lambda: strategy.setup(problem, cfg))
-        if lookup.hit:
-            self._stats.incr("cache_hits")
-            if lookup.waited:
-                self._stats.incr("single_flight_waits")
-        else:
-            self._stats.incr("cache_misses")
-            self._stats.incr("factorizations")
-        fact = lookup.fact
-        t_queue = time.perf_counter() - req.t_submit
-
-        if cfg.method == "direct":
-            execution = resolve_execution(cfg.execution)
-
-            def finish(x: np.ndarray, size: int, t_solve: float) -> None:
-                # the solve started t_solve ago: queue time spans
-                # submission -> solve start, so it includes the batch
-                # window this request waited out (and, for a cache-miss
-                # leader, the factorization build — reported separately
-                # as t_setup)
-                t_queue = time.perf_counter() - t_solve - req.t_submit
-                report = SolveReport(
-                    x=x,
-                    method=cfg.method,
-                    execution=execution,
-                    problem=problem,
-                    rhs=b,
-                    iterations=0,
-                    converged=True,
-                    t_setup=lookup.build_seconds,
-                    t_solve=t_solve,
-                    # computed once at cache insert, not per request
-                    memory_bytes=lookup.nbytes or None,
-                    config=cfg,
-                    factorization=fact,
-                    cache_hit=lookup.hit,
-                    batch_size=size,
-                    t_queue=t_queue,
-                    **_parallel_extras(fact),
+        # note on span scope: for a batched direct solve this request's
+        # span covers its worker-thread occupancy (submit -> joined or
+        # dispatched); the solve itself runs on the batch opener's
+        # thread, and its timing is stamped into report.spans instead
+        with trace.span(
+            "service.request", request_id=req.request_id, method=cfg.method
+        ):
+            strategy = resolve_strategy(cfg.method)
+            key = (problem_fingerprint(problem), strategy.setup_key(cfg))
+            with trace.span("service.factor", cached="?") as fspan:
+                lookup = self._cache.get_or_build(
+                    key, lambda: strategy.setup(problem, cfg)
                 )
-                self._finish(req, report)
+                fspan.set(cached=lookup.hit, waited=lookup.waited)
+            if lookup.hit:
+                self._stats.incr("cache_hits")
+                if lookup.waited:
+                    self._stats.incr("single_flight_waits")
+            else:
+                self._stats.incr("cache_misses")
+                self._stats.incr("factorizations")
+            fact = lookup.fact
+            t_queue = time.perf_counter() - req.t_submit
 
-            # id(fact) keys the batch to this factorization *instance*:
-            # an evicted-and-rebuilt entry never joins a stale batch,
-            # and grouping by rhs dtype keeps block stacking exact
-            self._batcher.submit(
-                (key, id(fact), str(b.dtype), b.shape[0]),
-                fact,
-                b,
-                finish,
-                lambda exc: self._fail(req, exc),
-            )
-            return
+            if cfg.method == "direct":
+                execution = resolve_execution(cfg.execution)
 
-        report = facade_solve(problem, b, cfg, factorization=fact)
-        report.t_setup = lookup.build_seconds
-        report.cache_hit = lookup.hit
-        report.t_queue = t_queue
-        self._finish(req, report)
+                def finish(x: np.ndarray, size: int, t_solve: float) -> None:
+                    # the solve started t_solve ago: queue time spans
+                    # submission -> solve start, so it includes the batch
+                    # window this request waited out (and, for a cache-miss
+                    # leader, the factorization build — reported separately
+                    # as t_setup)
+                    t_queue = time.perf_counter() - t_solve - req.t_submit
+                    report = SolveReport(
+                        x=x,
+                        method=cfg.method,
+                        execution=execution,
+                        problem=problem,
+                        rhs=b,
+                        iterations=0,
+                        converged=True,
+                        t_setup=lookup.build_seconds,
+                        t_solve=t_solve,
+                        # computed once at cache insert, not per request
+                        memory_bytes=lookup.nbytes or None,
+                        config=cfg,
+                        factorization=fact,
+                        cache_hit=lookup.hit,
+                        batch_size=size,
+                        t_queue=t_queue,
+                        **_parallel_extras(fact),
+                    )
+                    self._finish(req, report)
+
+                # id(fact) keys the batch to this factorization *instance*:
+                # an evicted-and-rebuilt entry never joins a stale batch,
+                # and grouping by rhs dtype keeps block stacking exact
+                with trace.span("service.solve", batched=True):
+                    self._batcher.submit(
+                        (key, id(fact), str(b.dtype), b.shape[0]),
+                        fact,
+                        b,
+                        finish,
+                        lambda exc: self._fail(req, exc),
+                    )
+                return
+
+            with trace.span("service.solve", batched=False):
+                report = facade_solve(problem, b, cfg, factorization=fact)
+            report.t_setup = lookup.build_seconds
+            report.cache_hit = lookup.hit
+            report.t_queue = t_queue
+            self._finish(req, report)
 
     def _finish(self, req: _Request, report: SolveReport) -> None:
+        report.request_id = req.request_id
+        # the queue -> factor -> solve pipeline of this one request, in
+        # wall seconds, from quantities measured where each phase ran
+        # (the solve may have executed on another request's opener
+        # thread); queue excludes the factor build it waited on
+        report.spans = [
+            {"name": "queue", "seconds": max((report.t_queue or 0.0) - report.t_setup, 0.0)},
+            {"name": "factor", "seconds": report.t_setup},
+            {"name": "solve", "seconds": report.t_solve},
+        ]
         self._stats.incr("completed")
-        self._stats.record_latency(time.perf_counter() - req.t_submit)
+        duration = time.perf_counter() - req.t_submit
+        self._stats.record_latency(duration)
         req.future.set_result(report)
+        log_event(
+            "solve",
+            request_id=req.request_id,
+            status="ok",
+            method=report.method,
+            execution=report.execution,
+            fingerprint=problem_fingerprint(req.problem),
+            cache_hit=report.cache_hit,
+            batch_size=report.batch_size,
+            t_queue=report.t_queue,
+            t_setup=report.t_setup,
+            t_solve=report.t_solve,
+            duration=duration,
+        )
 
     def _fail(self, req: _Request, exc: BaseException) -> None:
         self._stats.incr("failed")
+        log_event(
+            "solve",
+            request_id=req.request_id,
+            status="error",
+            method=req.config.method,
+            error=f"{type(exc).__name__}: {exc}",
+            duration=time.perf_counter() - req.t_submit,
+        )
         if not req.future.done():
             req.future.set_exception(exc)

@@ -12,6 +12,8 @@ import threading
 from collections import deque
 from dataclasses import asdict, dataclass
 
+from repro.obs import COUNT_BUCKETS, LATENCY_BUCKETS, REGISTRY
+
 #: how many recent request latencies back the percentile estimates
 LATENCY_WINDOW = 4096
 
@@ -102,20 +104,43 @@ class StatsCollector:
         }
         self._max_batch = 0
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        # every count is mirrored into the process-wide metrics registry
+        # (shared across service instances; /metrics renders cumulative
+        # process totals, /stats renders this instance)
+        self._m_events = REGISTRY.counter(
+            "repro_service_events_total",
+            "Service request lifecycle events by kind",
+            labelnames=("kind",),
+        )
+        self._m_latency = REGISTRY.histogram(
+            "repro_service_request_seconds",
+            "Submit-to-completion latency of service requests",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_occupancy = REGISTRY.histogram(
+            "repro_service_batch_occupancy",
+            "Requests coalesced per dispatched batch",
+            buckets=COUNT_BUCKETS,
+        )
 
     def incr(self, name: str, by: int = 1) -> None:
         with self._lock:
             self._counts[name] += by
+        self._m_events.inc(by, kind=name)
 
     def record_batch(self, occupancy: int) -> None:
         with self._lock:
             self._counts["batches"] += 1
             self._counts["batched_requests"] += occupancy
             self._max_batch = max(self._max_batch, occupancy)
+        self._m_events.inc(kind="batches")
+        self._m_events.inc(occupancy, kind="batched_requests")
+        self._m_occupancy.observe(occupancy)
 
     def record_latency(self, seconds: float) -> None:
         with self._lock:
             self._latencies.append(float(seconds))
+        self._m_latency.observe(seconds)
 
     def snapshot(
         self,

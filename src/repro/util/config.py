@@ -212,6 +212,35 @@ def service_workers() -> int:
     return n
 
 
+# ----------------------------------------------------------------------
+# observability (repro.obs) knobs
+# ----------------------------------------------------------------------
+def obs_enabled() -> bool:
+    """Whether span tracing is on (``REPRO_OBS``, default off).
+
+    Off, ``repro.obs.trace.span`` returns a shared no-op context
+    manager after a single flag read — parity suites pay (almost)
+    nothing. Metrics counters are always live; only span *recording*
+    is gated. Set before worker processes start so rank workers
+    inherit it (the dispatch path also forwards the parent's live
+    setting per job).
+    """
+    return env_flag("REPRO_OBS", False)
+
+
+def obs_trace_path() -> str | None:
+    """Chrome-trace autosave target (``REPRO_OBS_TRACE_PATH``).
+
+    When set (and tracing is enabled), the process writes every
+    recorded span as Chrome ``trace_event`` JSON to this path at exit
+    — open it in ``chrome://tracing`` or Perfetto.
+    """
+    raw = os.environ.get("REPRO_OBS_TRACE_PATH")
+    if raw is None or raw.strip() == "":
+        return None
+    return raw
+
+
 def vmpi_start_method() -> str | None:
     """Multiprocessing start-method override (``REPRO_VMPI_START_METHOD``).
 

@@ -6,6 +6,12 @@ Two notions of time coexist in this codebase:
   for the aggregate work accounting; and
 * *simulated* distributed time, kept by :mod:`repro.vmpi.clock`, used to
   report the paper's ``t_fact``/``t_solve`` splits for p > 1.
+
+:class:`TimingBreakdown` keeps its per-instance bucket dict (it is a
+picklable dataclass field of factorization objects and crosses the
+process-backend result channel) but also mirrors every addition into
+the process-wide metrics registry (``repro_timing_seconds_total``), so
+``GET /metrics`` sees engine phase times without new plumbing.
 """
 
 from __future__ import annotations
@@ -15,34 +21,58 @@ from dataclasses import dataclass, field
 
 
 class Timer:
-    """Context-manager stopwatch accumulating wall time in seconds."""
+    """Context-manager stopwatch accumulating wall time in seconds.
+
+    Re-entrant: nesting ``with`` blocks on the same instance counts the
+    outermost interval once (inner entries neither double-count nor
+    corrupt the start stamp).
+    """
 
     def __init__(self) -> None:
         self.elapsed = 0.0
-        self._t0: float | None = None
+        self._starts: list[float] = []
 
     def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._t0 is not None
-        self.elapsed += time.perf_counter() - self._t0
-        self._t0 = None
+        if not self._starts:
+            raise RuntimeError("Timer.__exit__ without matching __enter__")
+        t0 = self._starts.pop()
+        if not self._starts:  # outermost exit: count the whole interval
+            self.elapsed += time.perf_counter() - t0
 
     def reset(self) -> None:
         self.elapsed = 0.0
-        self._t0 = None
+        self._starts.clear()
+
+
+def _timing_counter():
+    """Shared mirror counter; resolved lazily (registry may be reset)."""
+    from repro.obs.metrics import REGISTRY
+
+    return REGISTRY.counter(
+        "repro_timing_seconds_total",
+        "Engine wall time by TimingBreakdown bucket",
+        labelnames=("bucket",),
+    )
 
 
 @dataclass
 class TimingBreakdown:
-    """Accumulates named time buckets (e.g. ``compress``, ``schur``)."""
+    """Accumulates named time buckets (e.g. ``compress``, ``schur``).
+
+    A thin adapter over the metrics registry: per-instance totals stay
+    in ``buckets`` (the historical API), while every ``add`` also feeds
+    the process-wide ``repro_timing_seconds_total`` counter family.
+    """
 
     buckets: dict[str, float] = field(default_factory=dict)
 
     def add(self, name: str, seconds: float) -> None:
         self.buckets[name] = self.buckets.get(name, 0.0) + seconds
+        _timing_counter().inc(max(seconds, 0.0), bucket=name)
 
     def measure(self, name: str):
         """Context manager adding the elapsed wall time to ``name``."""
@@ -59,11 +89,11 @@ class _BucketTimer:
     def __init__(self, breakdown: TimingBreakdown, name: str) -> None:
         self._breakdown = breakdown
         self._name = name
-        self._t0 = 0.0
+        self._starts: list[float] = []
 
     def __enter__(self) -> "_BucketTimer":
-        self._t0 = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        self._breakdown.add(self._name, time.perf_counter() - self._t0)
+        self._breakdown.add(self._name, time.perf_counter() - self._starts.pop())

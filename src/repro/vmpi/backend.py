@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs import trace
 from repro.util.config import vmpi_backend
 from repro.vmpi.clock import CostModel
 from repro.vmpi.comm import Comm
@@ -46,6 +47,12 @@ class RankReport:
     bytes_sent: int
     messages_received: int
     bytes_received: int
+    #: spans recorded on this rank while tracing was enabled; process
+    #: backends ship them back over the result channel, and ``run_spmd``
+    #: adopts them into the parent tracer (empty when tracing is off,
+    #: and for the thread backend, whose spans land in the parent
+    #: tracer directly)
+    spans: list = field(default_factory=list)
 
 
 @dataclass
@@ -146,7 +153,10 @@ class ThreadBackend(ExecutionBackend):
 
         def worker(rank: int) -> None:
             try:
-                results[rank] = fn(comms[rank], *args)
+                # spans from rank threads land in the parent tracer
+                # directly, labeled with a per-rank track
+                with trace.track(f"rank{rank}"), trace.span("vmpi.rank", rank=rank):
+                    results[rank] = fn(comms[rank], *args)
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 errors.append((rank, exc))
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs import trace
 from repro.vmpi.backend import (  # noqa: F401 - re-exported for compatibility
     ExecutionBackend,
     RankReport,
@@ -40,7 +41,7 @@ def run_spmd(
     execution strategy ("thread" or "process"); ``None`` uses the
     configured default.
     """
-    return resolve_backend(backend).run(
+    run = resolve_backend(backend).run(
         nranks,
         fn,
         args,
@@ -48,3 +49,13 @@ def run_spmd(
         copy_payloads=copy_payloads,
         timeout=timeout,
     )
+    # merge spans the rank processes shipped back through their reports
+    # into this process's timeline (per-rank tracks); thread-backend
+    # ranks record into the parent tracer directly, so their reports
+    # carry none
+    for report in run.reports:
+        spans = getattr(report, "spans", None)
+        if spans:
+            trace.adopt(spans)
+            report.spans = []
+    return run

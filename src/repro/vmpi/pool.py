@@ -51,6 +51,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable
 
+from repro.obs import trace
 from repro.util.config import vmpi_pool_max
 from repro.vmpi.backend import RankReport, SPMDRun, report_from_comm
 from repro.vmpi.clock import CostModel
@@ -96,6 +97,7 @@ def _pool_worker_main(
     args, the program's result, the Comm — die when it returns, instead
     of pinning factorization-sized memory while the worker idles on the
     next command."""
+    trace.reset_in_child()  # fork children inherit the parent's span buffer
     while True:
         try:
             blob = cmd_q.get()
@@ -116,7 +118,13 @@ def _execute_job(rank: int, cmd, mailboxes: list, registry, min_shm_bytes: int) 
     and an import/decode error must surface as a clean rank failure —
     traceback preserved, pool kept alive — not a dead worker.
     """
-    _, job_id, payload_blob = cmd
+    _, job_id, payload_blob = cmd[:3]
+    # the dispatcher forwards its live tracing flag per job, so tracing
+    # toggled after the pool started (or enabled without REPRO_OBS in
+    # the environment, under the spawn start method) still reaches
+    # long-lived workers
+    trace.set_enabled(bool(cmd[3]) if len(cmd) > 3 else False)
+    trace.clear()
     created = _RegisteredRefs(registry)
     try:
         fn, args, cost_model, copy_payloads = decode_payload(pickle.loads(payload_blob))
@@ -126,13 +134,16 @@ def _execute_job(rank: int, cmd, mailboxes: list, registry, min_shm_bytes: int) 
         comm = Comm(
             transport, rank, cost_model=cost_model, copy_payloads=copy_payloads
         )
-        result = fn(comm, *args)
+        with trace.track(f"rank{rank}"), trace.span("vmpi.rank", rank=rank, job=job_id):
+            result = fn(comm, *args)
+        report = report_from_comm(comm)
+        report.spans = trace.drain()
         out = (
             rank,
             job_id,
             True,
             encode_payload(result, min_shm_bytes, created),
-            report_from_comm(comm),
+            report,
         )
         return pickle.dumps(out, protocol=_PICKLE)
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
@@ -365,16 +376,18 @@ class RankPool:
         # factorization costs one memcpy instead of p
         created = _RegisteredRefs(self._registry_q)
         try:
-            payload = encode_payload(
-                (fn, args, cost_model, copy_payloads),
-                self.min_shm_bytes,
-                created,
-                shared=True,
-            )
-            # nested blob: the outer control tuple is always loadable in
-            # the worker; the payload is unpickled inside the worker's
-            # failure-reporting path (see _execute_job)
-            payload_blob = pickle.dumps(payload, protocol=_PICKLE)
+            with trace.span("vmpi.encode", ranks=self.nranks) as esp:
+                payload = encode_payload(
+                    (fn, args, cost_model, copy_payloads),
+                    self.min_shm_bytes,
+                    created,
+                    shared=True,
+                )
+                # nested blob: the outer control tuple is always loadable in
+                # the worker; the payload is unpickled inside the worker's
+                # failure-reporting path (see _execute_job)
+                payload_blob = pickle.dumps(payload, protocol=_PICKLE)
+                esp.set(bytes=len(payload_blob), shm_blocks=len(created))
         except (pickle.PicklingError, TypeError, AttributeError) as exc:
             _release_refs(created)
             raise DispatchEncodeError(
@@ -387,16 +400,18 @@ class RankPool:
         self._job_id += 1
         self.jobs_run += 1
         job = self._job_id
-        blob = pickle.dumps(("run", job, payload_blob), protocol=_PICKLE)
+        blob = pickle.dumps(("run", job, payload_blob, trace.enabled), protocol=_PICKLE)
         try:
-            for rank in range(self.nranks):
-                self._cmd_qs[rank].put(blob)
+            with trace.span("vmpi.dispatch", ranks=self.nranks, job=job):
+                for rank in range(self.nranks):
+                    self._cmd_qs[rank].put(blob)
         except Exception:
             # a partially dispatched job leaves some ranks blocked in
             # receives that can never complete — tear down hard
             self.shutdown()
             raise
-        outcomes = self._collect(job, timeout)
+        with trace.span("vmpi.collect", ranks=self.nranks, job=job):
+            outcomes = self._collect(job, timeout)
         failures = [o for o in outcomes.values() if not o[2]]
         if failures:
             if len(outcomes) < self.nranks:

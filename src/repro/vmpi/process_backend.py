@@ -41,11 +41,22 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs import BYTES_BUCKETS, REGISTRY, trace
 from repro.util.config import vmpi_pool, vmpi_shm_min_bytes, vmpi_start_method
 from repro.vmpi.backend import ExecutionBackend, RankReport, SPMDRun, report_from_comm
 from repro.vmpi.clock import CostModel
 from repro.vmpi.comm import Comm
 from repro.vmpi.transport import Message
+
+_SHM_BYTES = REGISTRY.counter(
+    "repro_vmpi_shm_bytes_total",
+    "Bytes shipped through shared-memory blocks by the process backend",
+)
+_SHM_BLOCK_BYTES = REGISTRY.histogram(
+    "repro_vmpi_shm_block_bytes",
+    "Size distribution of shared-memory blocks carved per array",
+    buckets=BYTES_BUCKETS,
+)
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +200,8 @@ def encode_payload(
             arr, order = np.ascontiguousarray(obj), "C"
         shm = _create_shm(arr.nbytes)
         ref = ShmRef(shm.name, arr.shape, arr.dtype.str, order, shared)
+        _SHM_BYTES.inc(arr.nbytes)
+        _SHM_BLOCK_BYTES.observe(arr.nbytes)
         # record the name before the (possibly large) copy: a crash or
         # terminate() mid-copy must still leave the block reclaimable
         if created is not None:
@@ -434,14 +447,16 @@ class ProcessTransport:
         # restart the clock, or a deadlocked program would wait
         # (strays + 1) x timeout instead of timeout
         deadline = time.monotonic() + timeout
-        while True:
-            remaining = max(deadline - time.monotonic(), 0.0)
-            epoch, blob = self._mailboxes[rank].get(timeout=remaining)
-            msg = pickle.loads(blob)
-            if epoch != self.epoch:  # stranded by an earlier pool job
-                _release_refs(msg.payload)
-                continue
-            return dataclasses.replace(msg, payload=decode_payload(msg.payload))
+        with trace.span("vmpi.recv", rank=rank) as sp:
+            while True:
+                remaining = max(deadline - time.monotonic(), 0.0)
+                epoch, blob = self._mailboxes[rank].get(timeout=remaining)
+                msg = pickle.loads(blob)
+                if epoch != self.epoch:  # stranded by an earlier pool job
+                    _release_refs(msg.payload)
+                    continue
+                sp.set(source=msg.source, bytes=len(blob))
+                return dataclasses.replace(msg, payload=decode_payload(msg.payload))
 
 
 def _describe(exc: BaseException) -> str:
@@ -458,19 +473,30 @@ def _rank_main(
     copy_payloads: bool,
     min_shm_bytes: int,
     registry=None,
+    trace_on: bool = False,
 ) -> None:
     """Entry point of one rank process."""
+    # adopt the parent's live tracing state and start from a clean span
+    # buffer — a fork child inherits the parent's recorded spans, which
+    # must not be shipped back (the parent already has them)
+    trace.set_enabled(trace_on)
+    trace.reset_in_child()
     transport = ProcessTransport(mailboxes, min_shm_bytes, registry=registry)
     comm = Comm(transport, rank, cost_model=cost_model, copy_payloads=copy_payloads)
     created = _RegisteredRefs(registry)
     try:
-        result = fn(comm, *args)
+        with trace.track(f"rank{rank}"), trace.span("vmpi.rank", rank=rank):
+            result = fn(comm, *args)
+        report = report_from_comm(comm)
+        # spans recorded on this rank ride the pickle side of the result
+        # channel; run_spmd adopts them into the parent tracer
+        report.spans = trace.drain()
         # results round-trip through the shm codec too: factorization
         # products (WorkerResult trees of BoxRecord/PartialLU arrays)
         # travel zero-copy, leaving only control-message-sized pickles
         # on the result queue
         payload = encode_payload(result, min_shm_bytes, created)
-        results_q.put((rank, True, payload, report_from_comm(comm)))
+        results_q.put((rank, True, payload, report))
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
         _release_refs(created)
         results_q.put((rank, False, _describe(exc), None))
@@ -665,6 +691,7 @@ class ProcessBackend(ExecutionBackend):
                     copy_payloads,
                     self.min_shm_bytes,
                     registry,
+                    trace.enabled,
                 ),
                 name=f"vmpi-rank-{r}",
                 daemon=True,

@@ -26,19 +26,22 @@ def server():
     thread.join(timeout=10)
 
 
-def _request(server, method, path, body=None):
+def _request_full(server, method, path, body=None, raw=None):
     conn = http.client.HTTPConnection("127.0.0.1", server.server_address[1], timeout=120)
     try:
-        conn.request(
-            method,
-            path,
-            json.dumps(body) if body is not None else None,
-            {"Content-Type": "application/json"},
+        payload = raw if raw is not None else (
+            json.dumps(body) if body is not None else None
         )
+        conn.request(method, path, payload, {"Content-Type": "application/json"})
         resp = conn.getresponse()
-        return resp.status, json.loads(resp.read())
+        return resp.status, dict(resp.getheaders()), resp.read()
     finally:
         conn.close()
+
+
+def _request(server, method, path, body=None):
+    status, _headers, data = _request_full(server, method, path, body)
+    return status, json.loads(data)
 
 
 def test_healthz(server):
@@ -150,6 +153,80 @@ def test_request_shaped_solver_errors_map_to_400(server):
     }
     status, payload = _request(server, "POST", "/solve", body)
     assert status == 400 and "rows" in payload["error"]
+
+
+def test_unknown_field_is_rejected_with_field_name(server):
+    body = {"problem": {"type": "laplace_volume", "m": 16}, "bogus_knob": 1}
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 400
+    assert payload["code"] == "unknown_field"
+    assert payload["field"] == "bogus_knob"
+    assert "bogus_knob" in payload["error"]
+    assert payload["request_id"]
+
+
+def test_malformed_json_body(server):
+    status, _headers, data = _request_full(
+        server, "POST", "/solve", raw="{not json"
+    )
+    payload = json.loads(data)
+    assert status == 400 and payload["code"] == "bad_json"
+
+
+def test_bad_rhs_shape_names_the_field(server):
+    body = {
+        "problem": {"type": "laplace_volume", "m": 16},
+        "rhs": {"values": "not-a-list"},
+    }
+    status, payload = _request(server, "POST", "/solve", body)
+    assert status == 400
+    assert payload["code"] == "bad_field" and payload["field"] == "rhs"
+
+
+def test_request_id_is_echoed_everywhere(server):
+    body = {
+        "problem": {"type": "laplace_volume", "m": 16},
+        "rhs": {"seed": 5},
+        "request_id": "client-pick-1",
+    }
+    status, headers, data = _request_full(server, "POST", "/solve", body)
+    payload = json.loads(data)
+    assert status == 200
+    assert headers["X-Request-Id"] == "client-pick-1"
+    assert payload["request_id"] == "client-pick-1"
+    assert payload["report"]["request_id"] == "client-pick-1"
+    assert [s["name"] for s in payload["report"]["spans"]] == [
+        "queue", "factor", "solve",
+    ]
+
+
+def test_errors_carry_generated_request_id(server):
+    status, headers, data = _request_full(server, "GET", "/nope")
+    payload = json.loads(data)
+    assert status == 404 and payload["code"] == "not_found"
+    assert payload["request_id"] == headers["X-Request-Id"]
+
+
+def test_metrics_endpoint_is_parseable_prometheus(server):
+    from repro.obs import parse_prometheus
+
+    # exercise the service at least once so counters exist
+    _request(
+        server, "POST", "/solve",
+        {"problem": {"type": "laplace_volume", "m": 16}, "rhs": {"seed": 9}},
+    )
+    status, headers, data = _request_full(server, "GET", "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert "version=0.0.4" in headers["Content-Type"]
+    samples = parse_prometheus(data.decode())
+    events = {
+        labels["kind"]: v
+        for labels, v in samples["repro_service_events_total"]
+    }
+    assert events["requests"] >= 1 and events["completed"] >= 1
+    assert "repro_service_cache_bytes" in samples
+    assert "repro_service_cache_entries" in samples
 
 
 def test_build_problem_cache_reuses_instances(server):

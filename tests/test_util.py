@@ -18,6 +18,25 @@ def test_timer_accumulates():
     assert t.elapsed == 0.0
 
 
+def test_timer_reentrant_counts_outermost_only():
+    t = Timer()
+    with t:
+        with t:  # nested use must not corrupt the start stamp
+            time.sleep(0.005)
+        time.sleep(0.005)
+    assert 0.01 <= t.elapsed < 10.0
+    # one more plain use still works after the nested exit
+    with t:
+        time.sleep(0.002)
+    assert t.elapsed >= 0.012
+
+
+def test_timer_unbalanced_exit_raises():
+    t = Timer()
+    with pytest.raises(RuntimeError):
+        t.__exit__(None, None, None)
+
+
 def test_breakdown_buckets():
     tb = TimingBreakdown()
     tb.add("a", 1.0)
@@ -115,6 +134,38 @@ def test_vmpi_pool_max_config(monkeypatch):
     monkeypatch.setenv("REPRO_VMPI_POOL_MAX", "0")
     with pytest.raises(ValueError):
         vmpi_pool_max()
+
+
+def test_breakdown_mirrors_metrics_registry():
+    from repro.obs import REGISTRY
+
+    counter = REGISTRY.counter(
+        "repro_timing_seconds_total",
+        "Seconds accumulated per timing bucket",
+        labelnames=("bucket",),
+    )
+    before = counter.value(bucket="mirror_test")
+    tb = TimingBreakdown()
+    tb.add("mirror_test", 1.25)
+    assert counter.value(bucket="mirror_test") == pytest.approx(before + 1.25)
+
+
+def test_obs_config(monkeypatch):
+    from repro.util.config import obs_enabled, obs_trace_path
+
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    assert obs_enabled() is False
+    monkeypatch.setenv("REPRO_OBS", "on")
+    assert obs_enabled() is True
+    monkeypatch.setenv("REPRO_OBS", "off")
+    assert obs_enabled() is False
+
+    monkeypatch.delenv("REPRO_OBS_TRACE_PATH", raising=False)
+    assert obs_trace_path() is None
+    monkeypatch.setenv("REPRO_OBS_TRACE_PATH", "  ")
+    assert obs_trace_path() is None
+    monkeypatch.setenv("REPRO_OBS_TRACE_PATH", "/tmp/trace.json")
+    assert obs_trace_path() == "/tmp/trace.json"
 
 
 def test_vmpi_start_method_config(monkeypatch):
