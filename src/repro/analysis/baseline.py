@@ -1,0 +1,80 @@
+"""Committed-baseline support: tolerate known findings, catch new ones.
+
+A baseline is a JSON file of previously-accepted findings. Matching is
+by ``(checker, path, symbol-or-message)`` — deliberately *not* by line
+number, so unrelated edits that shift code do not churn the baseline.
+Matching is count-aware: two identical findings need two baseline
+entries, so fixing one of them is visible.
+
+The committed state of this repository is a zero-finding tree (no
+baseline file is checked in); the mechanism exists so a future large
+refactor can land incrementally without loosening the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def _key(entry: dict) -> tuple[str, str, str]:
+    return (
+        str(entry.get("checker", "")),
+        str(entry.get("path", "")),
+        str(entry.get("symbol") or entry.get("message", "")),
+    )
+
+
+def _finding_key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.checker, finding.path, finding.symbol or finding.message)
+
+
+def save_baseline(findings: Iterable[Finding], path: str | Path) -> None:
+    """Write ``findings`` as the new accepted baseline."""
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    """Read a baseline file; returns its finding entries."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ValueError(f"{path}: not a baseline file (no 'findings' key)")
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {version!r} != {BASELINE_VERSION}"
+        )
+    findings = doc["findings"]
+    if not isinstance(findings, list):
+        raise ValueError(f"{path}: 'findings' must be a list")
+    return findings
+
+
+def filter_baseline(
+    findings: list[Finding], baseline: list[dict]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined); baseline entries are consumed."""
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in baseline:
+        key = _key(entry)
+        budget[key] = budget.get(key, 0) + 1
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        key = _finding_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    return new, matched

@@ -1,0 +1,10 @@
+"""Checker registry: importing this package registers every checker."""
+
+from repro.analysis.checkers import (  # noqa: F401  - registration side effect
+    dead_code,
+    determinism,
+    env_discipline,
+    lock_discipline,
+    obs_conventions,
+    shm_lifecycle,
+)

@@ -1,0 +1,156 @@
+"""dead-code: no unused imports, no unreferenced private module symbols.
+
+Two passes with whole-project reference tracking:
+
+* **unused imports** — a name bound by ``import``/``from .. import``
+  and never referenced in its module (as a bare name, including inside
+  annotations, decorators and nested scopes, or via ``__all__``). Files
+  named ``__init__.py`` are exempt: their imports *are* the package's
+  re-export surface. ``from __future__ import ...`` is always exempt.
+* **unreferenced private symbols** — a module-level ``_name``
+  function/class/constant nothing references: no load in its own
+  module, no ``from mod import _name`` anywhere in the project, and no
+  ``anything._name`` attribute access anywhere in the project (the
+  coarse attribute net is deliberate — one stray match keeps a symbol
+  alive, which is the right failure direction for a deletion checker).
+
+Dunder names (``__all__``, ``__version__``) are configuration, not
+code, and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ParsedModule,
+    Project,
+    register_checker,
+)
+
+
+def _imported_bindings(mod: ParsedModule) -> list[tuple[str, ast.stmt, str]]:
+    """(bound name, statement, display) for every import in the module."""
+    out: list[tuple[str, ast.stmt, str]] = []
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                out.append((bound, node, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                out.append((
+                    bound, node,
+                    f"from {'.' * node.level}{node.module or ''} "
+                    f"import {alias.name}",
+                ))
+    return out
+
+
+def _loaded_names(mod: ParsedModule) -> set[str]:
+    """Every name the module references: loads, ``__all__`` strings,
+    ``global``/``nonlocal`` declarations."""
+    used: set[str] = set()
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            used.add(node.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            used.update(node.names)
+    for stmt in mod.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in stmt.targets
+            )
+            and isinstance(stmt.value, (ast.List, ast.Tuple))
+        ):
+            for el in stmt.value.elts:
+                if isinstance(el, ast.Constant) and isinstance(el.value, str):
+                    used.add(el.value)
+    return used
+
+
+def _private_module_symbols(mod: ParsedModule) -> dict[str, ast.stmt]:
+    """Module-level ``_name`` definitions (no dunders)."""
+    out: dict[str, ast.stmt] = {}
+    for stmt in mod.tree.body:
+        names: list[str] = []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names = [stmt.name]
+        elif isinstance(stmt, ast.Assign):
+            names = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names = [stmt.target.id]
+        for name in names:
+            if name.startswith("_") and not name.startswith("__"):
+                out.setdefault(name, stmt)
+    return out
+
+
+@register_checker
+class DeadCodeChecker(Checker):
+    name = "dead-code"
+    description = (
+        "unused imports and unreferenced private module-level symbols"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+
+        # project-wide reference pools for the private-symbol pass:
+        # matching is by bare name — coarse, but a false "still alive"
+        # only delays a deletion, while a false "dead" breaks the build
+        attr_refs: set[str] = set()
+        from_imports: set[str] = set()
+        for mod in project.modules:
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Attribute):
+                    attr_refs.add(node.attr)
+                elif isinstance(node, ast.ImportFrom):
+                    from_imports.update(alias.name for alias in node.names)
+
+        for mod in project.modules:
+            used = _loaded_names(mod)
+            if mod.path.name != "__init__.py":
+                for bound, stmt, display in _imported_bindings(mod):
+                    if bound not in used:
+                        findings.append(mod.finding(
+                            stmt, self.name,
+                            f"unused import: {display} binds {bound!r} but "
+                            "nothing in this module references it",
+                            f"import:{bound}",
+                        ))
+            if mod.module is None:
+                continue
+            imported_names = {b for b, _s, _d in _imported_bindings(mod)}
+            for name, stmt in _private_module_symbols(mod).items():
+                if name in imported_names:
+                    continue  # re-bound import, handled above
+                if name in used:
+                    continue
+                if name in attr_refs:
+                    continue
+                if name in from_imports:
+                    continue
+                kind = (
+                    "function" if isinstance(stmt, ast.FunctionDef)
+                    else "class" if isinstance(stmt, ast.ClassDef)
+                    else "constant"
+                )
+                findings.append(mod.finding(
+                    stmt, self.name,
+                    f"private {kind} {name!r} is never referenced (no load "
+                    "in this module, no import or attribute access "
+                    "anywhere in the project) — delete it",
+                    f"private:{name}",
+                ))
+        return findings

@@ -1,0 +1,141 @@
+"""env-discipline: every knob goes through util.config and the README.
+
+The ``REPRO_*`` environment contract has one source of truth,
+``repro.util.config``: accessors validate values, document defaults,
+and give the README knob tables something stable to point at. Enforced:
+
+* ``os.environ`` / ``os.getenv`` / ``os.putenv`` reads only inside
+  ``repro.util.config`` — everywhere else must call an accessor.
+* every ``REPRO_*`` name appearing anywhere (string literals, comments,
+  docstrings) must be a knob that ``util.config`` actually reads —
+  catching both typoed knob references and knobs added without an
+  accessor. A trailing-underscore match directly followed by ``*``
+  (``REPRO_SERVICE_*``) is a documented prefix, accepted when at least
+  one real knob carries the prefix.
+* every knob read by ``util.config`` must appear in the README knob
+  tables, so no knob ships undocumented.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ParsedModule,
+    Project,
+    dotted_name,
+    iter_calls,
+    literal_str,
+    register_checker,
+)
+
+CONFIG_MODULE = "repro.util.config"
+
+_KNOB_RE = re.compile(r"REPRO_[A-Z][A-Z0-9_]*")
+#: env accessor helpers defined by util.config
+_ENV_HELPERS = {"env_int", "env_float", "env_flag"}
+#: os-level env entry points that must not appear outside util.config
+_OS_ENV_FUNCS = {"os.getenv", "os.putenv", "os.unsetenv"}
+
+
+def collect_knobs(config: ParsedModule) -> dict[str, int]:
+    """Knob name -> first line where ``util.config`` reads it."""
+    knobs: dict[str, int] = {}
+
+    def record(name: str | None, line: int) -> None:
+        if name and name.startswith("REPRO_") and name not in knobs:
+            knobs[name] = line
+
+    for call in iter_calls(config.tree):
+        func = dotted_name(call.func)
+        if func in {"os.environ.get", "os.getenv"} or (
+            func is not None and func.split(".")[-1] in _ENV_HELPERS
+        ):
+            if call.args:
+                record(literal_str(call.args[0]), call.lineno)
+    for node in ast.walk(config.tree):
+        if isinstance(node, ast.Subscript):
+            target = dotted_name(node.value)
+            if target == "os.environ":
+                record(literal_str(node.slice), node.lineno)
+    return knobs
+
+
+@register_checker
+class EnvDisciplineChecker(Checker):
+    name = "env-discipline"
+    description = (
+        "os.environ reads only in util.config; REPRO_* literals resolve to "
+        "real knobs; every knob is in the README tables"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        config = project.module(CONFIG_MODULE)
+        knobs = collect_knobs(config) if config is not None else {}
+
+        for mod in project.modules:
+            if mod.module != CONFIG_MODULE:
+                findings.extend(self._env_reads(mod))
+            findings.extend(self._knob_literals(mod, knobs))
+
+        if config is not None and knobs:
+            readme = project.root / "README.md"
+            readme_text = readme.read_text(encoding="utf-8") if readme.exists() else ""
+            for knob, line in sorted(knobs.items()):
+                if knob not in readme_text:
+                    findings.append(config.finding(
+                        line, self.name,
+                        f"knob {knob} is read by util.config but missing from "
+                        "the README knob tables — document it",
+                        f"undocumented:{knob}",
+                    ))
+        return findings
+
+    def _env_reads(self, mod: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            name = None
+            if isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name == "os.environ":
+                    yield mod.finding(
+                        node, self.name,
+                        "os.environ access outside util.config; add an "
+                        "accessor there (validated default + docstring) and "
+                        "call it instead",
+                        "environ",
+                    )
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _OS_ENV_FUNCS:
+                    yield mod.finding(
+                        node, self.name,
+                        f"{name}() outside util.config; the env contract is "
+                        "centralized there",
+                        name or "",
+                    )
+
+    def _knob_literals(
+        self, mod: ParsedModule, knobs: dict[str, int]
+    ) -> Iterable[Finding]:
+        if not knobs:
+            return
+        for lineno, line in enumerate(mod.lines, 1):
+            for m in _KNOB_RE.finditer(line):
+                name = m.group(0)
+                if name in knobs:
+                    continue
+                after = line[m.end():m.end() + 1]
+                if name.endswith("_") and after == "*":
+                    if any(k.startswith(name) for k in knobs):
+                        continue
+                yield mod.finding(
+                    lineno, self.name,
+                    f"{name} does not resolve to a knob defined in "
+                    "util.config (typo, or a knob missing its accessor)",
+                    f"unknown:{name}",
+                )

@@ -1,0 +1,511 @@
+"""lock-discipline: guarded attributes stay guarded; lock order stays acyclic.
+
+Two related analyses over the threaded packages (``repro.service``,
+``repro.vmpi``, ``repro.obs``):
+
+**Guarded-attribute inference.** For every class owning a lock
+attribute (``self._lock = threading.Lock()`` / ``RLock()`` /
+``make_lock(...)``), infer which instance attributes the class treats
+as lock-guarded: any attribute written at least once in a *lock-held
+context*. A context is lock-held when it sits inside ``with
+self.<lock>:``, inside a method named ``*_locked``, or inside a private
+method whose intra-class call sites are all lock-held (computed to a
+fixpoint, so helpers called only from held helpers count). ``__init__``
+is construction-time and exempt. A guarded attribute written *outside*
+every held context is a data race waiting for a second thread, and is
+reported at the unguarded write.
+
+**Static lock-order graph.** Nodes are class lock attributes
+(``repro.vmpi.pool.RankPool._lock``) and module-level locks
+(``repro.vmpi.pool._POOLS_LOCK``). Acquiring B while holding A adds an
+edge A->B — from nested ``with`` blocks directly, and through one level
+of call resolution: a call made while holding A contributes edges to
+whatever the callee's body acquires. Callees resolve by unique name
+(bare names to module functions in scope; ``x.m()`` to ``m`` when
+exactly one scoped class defines it and ``m`` is not a builtin
+container method, which would alias ``dict.get``/``list.pop`` into
+class APIs). ``self.m()`` re-acquiring the already-held reentrant lock
+is legal and skipped; the same call shape on a *foreign* instance of
+the same class (``other.m()``) is a self-deadlock/ordering hazard on
+two instances of one lock and is reported at the call site. A cycle
+among the surviving edges is reported once per cycle. Suppressing the
+finding at an edge's source line removes that edge from the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ParsedModule,
+    Project,
+    dotted_name,
+    register_checker,
+)
+
+#: the packages participating in the whole-program lock-order graph
+LOCK_PACKAGES = ("repro.service", "repro.vmpi", "repro.obs")
+
+#: constructors that produce a lock object
+_LOCK_CTORS = {"Lock", "RLock", "make_lock"}
+_REENTRANT_CTORS = {"RLock"}
+
+#: collection-mutation method names treated as writes to the receiver
+_MUTATORS = {
+    "append", "add", "pop", "popitem", "clear", "update", "remove",
+    "discard", "extend", "insert", "setdefault", "move_to_end", "sort",
+}
+
+#: builtin container/stdlib method names never resolved to class methods
+#: (a foreign ``_POOLS.get(...)`` must not alias into ``FactorCache.get``)
+_NO_RESOLVE = _MUTATORS | {
+    "get", "items", "keys", "values", "put", "join", "start", "close",
+    "copy", "count", "index", "acquire", "release", "wait", "set",
+    "is_set", "notify", "notify_all", "submit", "result", "cancel",
+    "read", "write", "send", "recv", "flush", "is_alive", "terminate",
+    "kill", "encode", "decode", "strip", "split", "format", "register",
+}
+
+
+def _lock_ctor(value: ast.AST) -> tuple[bool, bool]:
+    """(is_lock, reentrant) for an assigned value expression."""
+    if not isinstance(value, ast.Call):
+        return False, False
+    name = dotted_name(value.func)
+    if name is None:
+        return False, False
+    tail = name.split(".")[-1]
+    if tail not in _LOCK_CTORS:
+        return False, False
+    reentrant = tail in _REENTRANT_CTORS
+    if tail == "make_lock":
+        for kw in value.keywords:
+            if kw.arg == "reentrant" and isinstance(kw.value, ast.Constant):
+                reentrant = bool(kw.value.value)
+    return True, reentrant
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``X`` for a ``self.X`` expression."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _written_self_attrs(stmt: ast.AST) -> list[tuple[str, ast.AST]]:
+    """(attr, site) pairs for every ``self.X`` write inside one node."""
+    writes: list[tuple[str, ast.AST]] = []
+
+    def targets_of(node: ast.AST) -> list[ast.AST]:
+        if isinstance(node, ast.Assign):
+            return list(node.targets)
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return [node.target]
+        if isinstance(node, ast.Delete):
+            return list(node.targets)
+        return []
+
+    def flatten(target: ast.AST) -> Iterable[ast.AST]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                yield from flatten(el)
+        else:
+            yield target
+
+    for node in ast.walk(stmt):
+        for raw in targets_of(node):
+            for target in flatten(raw):
+                attr = _self_attr(target)
+                if attr is None and isinstance(target, ast.Subscript):
+                    attr = _self_attr(target.value)
+                if attr is not None:
+                    writes.append((attr, target))
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                attr = _self_attr(node.func.value)
+                if attr is not None:
+                    writes.append((attr, node))
+    return writes
+
+
+@dataclass
+class ClassLocks:
+    """One scoped class and its lock layout."""
+
+    mod: ParsedModule
+    node: ast.ClassDef
+    locks: dict[str, bool] = field(default_factory=dict)  #: attr -> reentrant
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    held_methods: set[str] = field(default_factory=set)
+
+    @property
+    def sole_lock(self) -> str | None:
+        return next(iter(self.locks)) if len(self.locks) == 1 else None
+
+    def lock_node(self, attr: str) -> str:
+        return f"{self.mod.module}.{self.node.name}.{attr}"
+
+
+def _collect_class(mod: ParsedModule, cls: ast.ClassDef) -> ClassLocks:
+    info = ClassLocks(mod, cls)
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef):
+            info.methods[item.name] = item
+    for fn in info.methods.values():
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                attr = _self_attr(node.targets[0])
+                if attr is not None:
+                    is_lock, reentrant = _lock_ctor(node.value)
+                    if is_lock:
+                        info.locks[attr] = reentrant
+    # a lock attr used in ``with self.X`` but assigned elsewhere (e.g.
+    # injected) still counts, as long as the name says it is a lock
+    for fn in info.methods.values():
+        for node in ast.walk(fn):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr and attr.lower().endswith("lock"):
+                        info.locks.setdefault(attr, False)
+    return info
+
+
+def _method_held_regions(info: ClassLocks, fn: ast.FunctionDef) -> set[int]:
+    """Line numbers inside ``with self.<lock>`` blocks of one method."""
+    lines: set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.With) and any(
+            _self_attr(item.context_expr) in info.locks for item in node.items
+        ):
+            end = getattr(node, "end_lineno", node.lineno)
+            lines.update(range(node.lineno, end + 1))
+    return lines
+
+
+def _infer_held_methods(info: ClassLocks) -> None:
+    """Fixpoint: ``*_locked`` methods, plus private methods all of whose
+    intra-class call sites are lock-held."""
+    held = {name for name in info.methods if name.endswith("_locked")}
+    regions = {
+        name: _method_held_regions(info, fn) for name, fn in info.methods.items()
+    }
+    # call sites: callee -> list of (caller, line)
+    sites: dict[str, list[tuple[str, int]]] = {}
+    for caller, fn in info.methods.items():
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                callee = _self_attr(node.func)
+                if callee in info.methods:
+                    sites.setdefault(callee, []).append((caller, node.lineno))
+    changed = True
+    while changed:
+        changed = False
+        for name in info.methods:
+            if name in held or not name.startswith("_") or name == "__init__":
+                continue
+            calls = sites.get(name)
+            if not calls:
+                continue
+            if all(
+                caller in held or line in regions[caller]
+                for caller, line in calls
+            ):
+                held.add(name)
+                changed = True
+    info.held_methods = held
+
+
+def _check_guarded_attrs(info: ClassLocks) -> Iterable[Finding]:
+    if not info.locks:
+        return
+    guarded: dict[str, int] = {}   # attr -> first held-write line
+    unguarded: list[tuple[str, ast.AST]] = []
+    for name, fn in info.methods.items():
+        if name == "__init__":
+            continue
+        regions = _method_held_regions(info, fn)
+        body_held = name in info.held_methods
+        for attr, site in _written_self_attrs(fn):
+            if attr in info.locks:
+                continue
+            line = getattr(site, "lineno", fn.lineno)
+            if body_held or line in regions:
+                guarded.setdefault(attr, line)
+            else:
+                unguarded.append((attr, site))
+    for attr, site in unguarded:
+        if attr in guarded:
+            yield info.mod.finding(
+                site, "lock-discipline",
+                f"{info.node.name}.{attr} is written under "
+                f"{info.node.name}'s lock elsewhere (line {guarded[attr]}) "
+                "but written here without it — guard this write or move "
+                "the attribute out of the locked set",
+                f"{info.node.name}.{attr}",
+            )
+
+
+# ----------------------------------------------------------------------
+# lock-order graph
+# ----------------------------------------------------------------------
+@dataclass
+class _Scope:
+    """Everything the graph walker needs to resolve names."""
+
+    classes: list[ClassLocks]
+    module_locks: dict[str, dict[str, bool]]        #: module -> name -> reentrant
+    methods_by_name: dict[str, list[tuple[ClassLocks, ast.FunctionDef]]]
+    functions: dict[str, list[tuple[ParsedModule, ast.FunctionDef]]]
+    acquires: dict[ast.AST, set[str]]               #: funcdef -> lock nodes
+
+
+@dataclass(frozen=True)
+class _Edge:
+    src: str
+    dst: str
+    mod: ParsedModule
+    line: int
+    via: str
+
+
+def _module_lock_node(mod: ParsedModule, name: str) -> str:
+    return f"{mod.module}.{name}"
+
+
+def _resolve_lock_expr(
+    expr: ast.AST, mod: ParsedModule, cls: ClassLocks | None, scope: _Scope
+) -> tuple[str, bool] | None:
+    """(node, reentrant) for a ``with`` context expression, if a lock."""
+    attr = _self_attr(expr)
+    if attr is not None and cls is not None and attr in cls.locks:
+        return cls.lock_node(attr), cls.locks[attr]
+    if isinstance(expr, ast.Name):
+        mod_locks = scope.module_locks.get(mod.module or "", {})
+        if expr.id in mod_locks:
+            return _module_lock_node(mod, expr.id), mod_locks[expr.id]
+    return None
+
+
+def _direct_acquires(
+    fn: ast.AST, mod: ParsedModule, cls: ClassLocks | None, scope: _Scope
+) -> set[str]:
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                resolved = _resolve_lock_expr(item.context_expr, mod, cls, scope)
+                if resolved is not None:
+                    out.add(resolved[0])
+    return out
+
+
+def _build_scope(project: Project) -> _Scope:
+    classes: list[ClassLocks] = []
+    module_locks: dict[str, dict[str, bool]] = {}
+    functions: dict[str, list[tuple[ParsedModule, ast.FunctionDef]]] = {}
+    for mod in project.in_packages(LOCK_PACKAGES):
+        locks: dict[str, bool] = {}
+        for stmt in mod.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and (
+                isinstance(stmt.targets[0], ast.Name)
+            ):
+                is_lock, reentrant = _lock_ctor(stmt.value)
+                if is_lock:
+                    locks[stmt.targets[0].id] = reentrant
+            if isinstance(stmt, ast.FunctionDef):
+                functions.setdefault(stmt.name, []).append((mod, stmt))
+            if isinstance(stmt, ast.ClassDef):
+                info = _collect_class(mod, stmt)
+                _infer_held_methods(info)
+                classes.append(info)
+        if locks:
+            module_locks[mod.module or ""] = locks
+    methods_by_name: dict[str, list[tuple[ClassLocks, ast.FunctionDef]]] = {}
+    for info in classes:
+        for name, fn in info.methods.items():
+            methods_by_name.setdefault(name, []).append((info, fn))
+    scope = _Scope(classes, module_locks, methods_by_name, functions, {})
+    for info in classes:
+        for fn in info.methods.values():
+            scope.acquires[fn] = _direct_acquires(fn, info.mod, info, scope)
+    for name, defs in functions.items():
+        for mod, fn in defs:
+            scope.acquires[fn] = _direct_acquires(fn, mod, None, scope)
+    return scope
+
+
+def _resolve_call(
+    call: ast.Call, mod: ParsedModule, cls: ClassLocks | None, scope: _Scope
+) -> tuple[ClassLocks | None, ast.FunctionDef, str] | None:
+    """(owning class, funcdef, receiver) for a resolvable callee."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        receiver, name = func.value.id, func.attr
+        if receiver == "self" and cls is not None and name in cls.methods:
+            return cls, cls.methods[name], receiver
+        if name in _NO_RESOLVE:
+            return None
+        owners = scope.methods_by_name.get(name, [])
+        if len(owners) == 1:
+            return owners[0][0], owners[0][1], receiver
+        return None
+    if isinstance(func, ast.Name):
+        if cls is not None and func.id in cls.methods:
+            return None  # bare method name: a local, not a call on self
+        defs = scope.functions.get(func.id, [])
+        same_mod = [d for d in defs if d[0] is mod]
+        if len(same_mod) == 1:
+            return None, same_mod[0][1], ""
+        if len(defs) == 1:
+            return None, defs[0][1], ""
+    return None
+
+
+def _walk_function(
+    fn: ast.FunctionDef,
+    mod: ParsedModule,
+    cls: ClassLocks | None,
+    scope: _Scope,
+    initial_held: list[tuple[str, bool]],
+    edges: list[_Edge],
+    findings: list[Finding],
+) -> None:
+    def visit(node: ast.AST, held: list[tuple[str, bool]]) -> None:
+        if isinstance(node, ast.With):
+            acquired: list[tuple[str, bool]] = []
+            for item in node.items:
+                resolved = _resolve_lock_expr(item.context_expr, mod, cls, scope)
+                if resolved is not None:
+                    for src, _re in held + acquired:
+                        if src != resolved[0]:
+                            edges.append(_Edge(
+                                src, resolved[0], mod, node.lineno, "with"
+                            ))
+                    acquired.append(resolved)
+            for child in node.body:
+                visit(child, held + acquired)
+            return
+        if isinstance(node, ast.Call) and held:
+            resolved = _resolve_call(node, mod, cls, scope)
+            if resolved is not None:
+                target_cls, target_fn, receiver = resolved
+                for dst in sorted(scope.acquires.get(target_fn, ())):
+                    skip = False
+                    for src, reentrant in held:
+                        if src != dst:
+                            continue
+                        if receiver == "self" and reentrant:
+                            skip = True  # legal reentrant re-acquire
+                        else:
+                            findings.append(mod.finding(
+                                node, "lock-discipline",
+                                f"call to {target_cls.node.name}."
+                                f"{target_fn.name}() on a foreign instance "
+                                f"while holding this instance's {dst.rsplit('.', 1)[-1]} — "
+                                "two instances of one lock class have no "
+                                "defined order (and a non-reentrant lock "
+                                "would self-deadlock)"
+                                if target_cls is not None else
+                                f"call re-acquires held lock {dst}",
+                                f"foreign:{dst}",
+                            ))
+                            skip = True
+                    if skip:
+                        continue
+                    for src, _re in held:
+                        if src != dst:
+                            edges.append(_Edge(
+                                src, dst, mod, node.lineno,
+                                f"call:{target_fn.name}"
+                            ))
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node is not fn
+        ):
+            return  # nested defs execute later, under unknown locks
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in fn.body:
+        visit(stmt, list(initial_held))
+
+
+def _find_cycles(edges: list[_Edge]) -> list[list[_Edge]]:
+    """One representative edge-path per elementary cycle found by DFS."""
+    graph: dict[str, list[_Edge]] = {}
+    for edge in edges:
+        graph.setdefault(edge.src, []).append(edge)
+    cycles: list[list[_Edge]] = []
+    seen_keys: set[tuple[str, ...]] = set()
+    done: set[str] = set()
+
+    def dfs(node: str, stack: list[_Edge], on_stack: list[str]) -> None:
+        for edge in graph.get(node, ()):
+            if edge.dst in on_stack:
+                start = on_stack.index(edge.dst)
+                cycle = stack[start:] + [edge]
+                key = tuple(sorted({e.src for e in cycle}))
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(cycle)
+            elif edge.dst not in done:
+                dfs(edge.dst, stack + [edge], on_stack + [edge.dst])
+        done.add(node)
+
+    for node in list(graph):
+        if node not in done:
+            dfs(node, [], [node])
+    return cycles
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    description = (
+        "lock-guarded attributes never written unguarded; the "
+        "service/vmpi/obs lock-order graph stays acyclic"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        scope = _build_scope(project)
+        for info in scope.classes:
+            findings.extend(_check_guarded_attrs(info))
+
+        edges: list[_Edge] = []
+        for info in scope.classes:
+            for name, fn in info.methods.items():
+                initial: list[tuple[str, bool]] = []
+                sole = info.sole_lock
+                if name in info.held_methods and sole is not None:
+                    initial = [(info.lock_node(sole), info.locks[sole])]
+                _walk_function(fn, info.mod, info, scope, initial, edges, findings)
+        for defs in scope.functions.values():
+            for mod, fn in defs:
+                _walk_function(fn, mod, None, scope, [], edges, findings)
+
+        live = [
+            e for e in edges
+            if not e.mod.suppressed(e.line, self.name) and e.src != e.dst
+        ]
+        for cycle in _find_cycles(live):
+            path = " -> ".join([cycle[0].src] + [e.dst for e in cycle])
+            sites = ", ".join(
+                f"{e.mod.rel}:{e.line} ({e.via})" for e in cycle
+            )
+            findings.append(cycle[0].mod.finding(
+                cycle[0].line, self.name,
+                f"lock-order cycle: {path} [edges at {sites}] — two threads "
+                "taking these locks in opposite orders can deadlock; pick "
+                "one order and restructure the odd acquisition",
+                f"cycle:{path}",
+            ))
+        return findings

@@ -1,0 +1,188 @@
+"""obs-conventions: span and metric names follow one grammar, project-wide.
+
+The observability layer's exports are only greppable/joinable if names
+are uniform. Enforced:
+
+* ``trace.span(...)`` / ``trace.track(...)`` take a *literal* first
+  argument (a dynamic span name defeats both this checker and any
+  dashboard query), and span names match
+  ``segment(.segment)*`` with ``[a-z][a-z0-9_]*`` segments.
+* metric families declared through ``REGISTRY.counter/gauge/histogram``
+  (or the module-level helpers) are literal, match
+  ``repro_[a-z][a-z0-9_]*``, counters end in ``_total`` and
+  non-counters do not, and nothing ends in the Prometheus-reserved
+  ``_bucket``/``_sum``/``_count`` suffixes.
+* one family name is declared with one kind and one label set: the
+  same name declared elsewhere with a different kind or different
+  ``labelnames`` would corrupt the shared registry at runtime.
+
+``trace.track(...)`` names are worker-tag prefixes (``rank{r}``) and
+are exempt from the dotted grammar but must still be literal or a
+single f-string.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ParsedModule,
+    Project,
+    dotted_name,
+    iter_calls,
+    literal_str,
+    register_checker,
+)
+
+SPAN_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+METRIC_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+_RESERVED_SUFFIXES = ("_bucket", "_sum", "_count")
+_METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+def _metric_call_kind(call: ast.Call) -> str | None:
+    """'counter'/'gauge'/'histogram' for a metric-declaration call."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    tail = name.split(".")[-1]
+    return tail if tail in _METRIC_KINDS else None
+
+
+def _labelnames(call: ast.Call) -> tuple[str, ...] | None:
+    """The literal ``labelnames=(...)`` tuple, or () when absent."""
+    for kw in call.keywords:
+        if kw.arg == "labelnames":
+            if isinstance(kw.value, (ast.Tuple, ast.List)):
+                labels = [literal_str(el) for el in kw.value.elts]
+                if all(lbl is not None for lbl in labels):
+                    return tuple(labels)  # type: ignore[arg-type]
+            return None  # dynamic label set: can't verify
+    return ()
+
+
+@register_checker
+class ObsConventionsChecker(Checker):
+    name = "obs-conventions"
+    description = (
+        "span/metric names are literal and follow the naming grammar; "
+        "no family is re-declared with a conflicting kind or labels"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        #: family name -> (kind, labels, module, line) of first declaration
+        families: dict[str, tuple[str, tuple[str, ...] | None, str, int]] = {}
+        for mod in project.modules:
+            if mod.module is not None and mod.module.startswith("repro.analysis"):
+                continue  # the analyzer's own fixtures/grammar constants
+            for call in iter_calls(mod.tree):
+                findings.extend(self._check_span(mod, call))
+                findings.extend(self._check_metric(mod, call, families))
+        return findings
+
+    def _check_span(self, mod: ParsedModule, call: ast.Call) -> Iterable[Finding]:
+        func = dotted_name(call.func)
+        if func is None or not isinstance(call.func, ast.Attribute):
+            return
+        method = call.func.attr
+        receiver = func.rsplit(".", 1)[0]
+        if method not in ("span", "track") or "trace" not in receiver:
+            return
+        if not call.args:
+            return
+        name = literal_str(call.args[0])
+        if name is None:
+            if method == "track" and isinstance(call.args[0], ast.JoinedStr):
+                return  # rank{r} worker tags are legitimately dynamic
+            yield mod.finding(
+                call, self.name,
+                f"trace.{method}() name is not a string literal; dynamic "
+                "span names defeat dashboards and this checker",
+                f"dynamic-{method}",
+            )
+            return
+        if method == "span" and not SPAN_RE.match(name):
+            yield mod.finding(
+                call, self.name,
+                f"span name {name!r} violates the grammar "
+                "lowercase.dotted_segments (^[a-z][a-z0-9_]*"
+                "(\\.[a-z][a-z0-9_]*)*$)",
+                f"span:{name}",
+            )
+
+    def _check_metric(
+        self,
+        mod: ParsedModule,
+        call: ast.Call,
+        families: dict[str, tuple[str, tuple[str, ...] | None, str, int]],
+    ) -> Iterable[Finding]:
+        kind = _metric_call_kind(call)
+        if kind is None or not call.args:
+            return
+        name = literal_str(call.args[0])
+        if name is None:
+            yield mod.finding(
+                call, self.name,
+                f"{kind}() family name is not a string literal; the "
+                "registry contract needs statically known families",
+                f"dynamic-{kind}",
+            )
+            return
+        if not METRIC_RE.match(name):
+            yield mod.finding(
+                call, self.name,
+                f"metric family {name!r} violates the grammar "
+                "^repro_[a-z][a-z0-9_]*$",
+                f"metric:{name}",
+            )
+            return
+        if kind == "counter" and not name.endswith("_total"):
+            yield mod.finding(
+                call, self.name,
+                f"counter {name!r} must end in _total (Prometheus counter "
+                "convention)",
+                f"metric:{name}",
+            )
+        if kind != "counter" and name.endswith("_total"):
+            yield mod.finding(
+                call, self.name,
+                f"{kind} {name!r} must not end in _total — that suffix "
+                "marks counters",
+                f"metric:{name}",
+            )
+        if name.endswith(_RESERVED_SUFFIXES):
+            yield mod.finding(
+                call, self.name,
+                f"metric family {name!r} ends in a Prometheus-reserved "
+                "suffix (_bucket/_sum/_count are synthesized per family)",
+                f"metric:{name}",
+            )
+        labels = _labelnames(call)
+        prior = families.get(name)
+        if prior is None:
+            families[name] = (kind, labels, mod.rel, call.lineno)
+            return
+        prior_kind, prior_labels, prior_rel, prior_line = prior
+        if prior_kind != kind:
+            yield mod.finding(
+                call, self.name,
+                f"metric family {name!r} declared as {kind} here but as "
+                f"{prior_kind} at {prior_rel}:{prior_line} — one family, "
+                "one kind",
+                f"conflict:{name}",
+            )
+        elif labels is not None and prior_labels is not None and (
+            labels != prior_labels
+        ):
+            yield mod.finding(
+                call, self.name,
+                f"metric family {name!r} declared with labels {labels!r} "
+                f"here but {prior_labels!r} at {prior_rel}:{prior_line} — "
+                "label sets must match across declarations",
+                f"conflict:{name}",
+            )

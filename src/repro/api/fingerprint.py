@@ -24,7 +24,6 @@ probe block), and safe to use as dictionary keys or URL components.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import fields, is_dataclass
 from typing import Any
 
 import numpy as np
@@ -123,12 +122,6 @@ def problem_fingerprint(problem) -> str:
     if callable(method):
         return method()
     return fingerprint_problem(problem)
-
-
-def _dataclass_items(obj) -> tuple:
-    if not is_dataclass(obj):
-        return (repr(obj),)
-    return tuple((f.name, getattr(obj, f.name)) for f in fields(obj))
 
 
 def setup_fingerprint(config) -> str:

@@ -13,8 +13,20 @@ Three surfaces over one instrumentation layer:
   ``GET /metrics`` in Prometheus text exposition format.
 * ``log_event`` — structured JSON request-log lines on the
   ``repro.requests`` logger.
+
+Plus one guardrail: ``make_lock`` — the project's lock factory. Plain
+``threading`` locks by default; under ``REPRO_OBS=on`` they become
+:class:`~repro.obs.lockwatch.WatchedLock` s that record acquisition
+order and warn on lock-order inversions (the runtime complement of the
+static lock-order graph in ``repro.analysis``).
 """
 
+from repro.obs.lockwatch import (
+    WatchedLock,
+    lock_order_edges,
+    make_lock,
+    reset_lock_watch,
+)
 from repro.obs.metrics import (
     BYTES_BUCKETS,
     COUNT_BUCKETS,
@@ -41,10 +53,14 @@ __all__ = [
     "REGISTRY",
     "Span",
     "Tracer",
+    "WatchedLock",
     "chrome_trace",
     "enable_stderr_logs",
+    "lock_order_edges",
     "log_event",
+    "make_lock",
     "parse_prometheus",
     "render_prometheus",
+    "reset_lock_watch",
     "trace",
 ]

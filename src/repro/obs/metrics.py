@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import re
 import threading
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -64,7 +64,9 @@ class _Metric:
         self.help = help
         self.labelnames = labelnames
         self._lock = threading.Lock()
-        self._values: dict[tuple[str, ...], object] = {}
+        # Any, not object: Counter/Gauge store floats, Histogram stores
+        # mutable state dicts — subclasses narrow per use site
+        self._values: dict[tuple[str, ...], Any] = {}
 
     def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
         if set(labels) != set(self.labelnames):

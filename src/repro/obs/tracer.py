@@ -29,6 +29,7 @@ import threading
 import time
 from typing import Any, Iterable
 
+from repro.obs.lockwatch import make_lock
 from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY
 from repro.util.config import obs_enabled, obs_trace_path
 
@@ -53,10 +54,10 @@ class Span:
 
     # __slots__ classes need explicit state hooks only for protocol < 2;
     # the default reduce handles slots, but be explicit for clarity.
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         return {s: getattr(self, s) for s in self.__slots__}
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: dict[str, Any]) -> None:
         for s in self.__slots__:
             setattr(self, s, state[s])
 
@@ -127,7 +128,7 @@ class Tracer:
 
     def __init__(self, enabled: bool | None = None):
         self._enabled = obs_enabled() if enabled is None else enabled
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.tracer")
         self._spans: list[Span] = []
         self._local = threading.local()
         self._span_hist = REGISTRY.histogram(
@@ -164,13 +165,13 @@ class Tracer:
             self._spans.append(span)
         self._span_hist.observe(span.duration, name=span.name)
 
-    def span(self, name: str, **attrs: Any):
+    def span(self, name: str, **attrs: Any) -> Any:
         """Open a span named ``name``; extra kwargs become attributes."""
         if not self._enabled:
             return _NOOP
         return _LiveSpan(self, name, attrs)
 
-    def track(self, name: str | None):
+    def track(self, name: str | None) -> "_TrackCtx":
         """Label spans opened by this thread (e.g. ``rank3``)."""
         return _TrackCtx(self, name)
 

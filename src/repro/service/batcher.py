@@ -28,6 +28,7 @@ from typing import Any, Callable, Hashable
 
 import numpy as np
 
+from repro.obs.lockwatch import make_lock
 from repro.util.config import SERVICE_BATCH_MODES
 
 #: callback fulfilling one request: (x, batch_occupancy, t_solve_batch)
@@ -82,7 +83,7 @@ class RhsBatcher:
         self.max_batch = int(max_batch)
         self.mode = mode
         self._on_batch = on_batch
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.batcher")
         self._open: dict[Hashable, _Batch] = {}
 
     def submit(

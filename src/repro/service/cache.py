@@ -28,6 +28,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Hashable, NamedTuple
 
 from repro.obs import REGISTRY
+from repro.obs.lockwatch import make_lock
 
 _EVICTIONS = REGISTRY.counter(
     "repro_service_cache_evictions_total",
@@ -89,7 +90,7 @@ class FactorizationCache:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.max_bytes = int(max_bytes)
         self._on_evict = on_evict
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.cache")
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self.evictions = 0
         self._closed = False

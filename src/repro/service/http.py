@@ -47,7 +47,6 @@ fingerprint and one cached factorization.
 from __future__ import annotations
 
 import json
-import threading
 import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -58,6 +57,7 @@ import numpy as np
 from repro.api.config import SolveConfig
 from repro.core.options import SRSOptions
 from repro.obs import REGISTRY, log_event, render_prometheus
+from repro.obs.lockwatch import make_lock
 from repro.service.service import SolveService
 
 #: most distinct problem objects kept alive by one server
@@ -230,7 +230,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         super().__init__(address, ServiceRequestHandler)
         self.service = service
         self._problems: "OrderedDict[str, object]" = OrderedDict()
-        self._problems_lock = threading.Lock()
+        self._problems_lock = make_lock("service.http.problems")
 
     def problem_for(self, spec: dict):
         """The (cached) problem object for a canonicalized JSON spec."""

@@ -8,11 +8,11 @@ the counters into an immutable :class:`ServiceStats` report (the
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from dataclasses import asdict, dataclass
 
 from repro.obs import COUNT_BUCKETS, LATENCY_BUCKETS, REGISTRY
+from repro.obs.lockwatch import make_lock
 
 #: how many recent request latencies back the percentile estimates
 LATENCY_WINDOW = 4096
@@ -89,7 +89,7 @@ class StatsCollector:
     """Thread-safe accumulator behind :class:`ServiceStats`."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.stats")
         self._counts = {
             "requests": 0,
             "completed": 0,

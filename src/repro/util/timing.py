@@ -18,6 +18,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # lazy at runtime: the registry may be reset in tests
+    from repro.obs.metrics import Counter
 
 
 class Timer:
@@ -48,7 +52,7 @@ class Timer:
         self._starts.clear()
 
 
-def _timing_counter():
+def _timing_counter() -> Counter:
     """Shared mirror counter; resolved lazily (registry may be reset)."""
     from repro.obs.metrics import REGISTRY
 
@@ -74,7 +78,7 @@ class TimingBreakdown:
         self.buckets[name] = self.buckets.get(name, 0.0) + seconds
         _timing_counter().inc(max(seconds, 0.0), bucket=name)
 
-    def measure(self, name: str):
+    def measure(self, name: str) -> "_BucketTimer":
         """Context manager adding the elapsed wall time to ``name``."""
         return _BucketTimer(self, name)
 

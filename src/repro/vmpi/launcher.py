@@ -17,7 +17,6 @@ from typing import Any, Callable
 from repro.obs import trace
 from repro.vmpi.backend import (  # noqa: F401 - re-exported for compatibility
     ExecutionBackend,
-    RankReport,
     SPMDRun,
     resolve_backend,
 )

@@ -46,12 +46,12 @@ from __future__ import annotations
 import atexit
 import pickle
 import queue
-import threading
 import time
 from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.obs import trace
+from repro.obs.lockwatch import make_lock
 from repro.util.config import vmpi_pool_max
 from repro.vmpi.backend import RankReport, SPMDRun, report_from_comm
 from repro.vmpi.clock import CostModel
@@ -175,7 +175,7 @@ class RankPool:
         # different threads serialize here (the per-call backend, whose
         # state is all call-local, stays fully reentrant). RLock because
         # run() calls ensure_started()/shutdown() internally.
-        self._lock = threading.RLock()
+        self._lock = make_lock("vmpi.pool", reentrant=True)
         #: registry membership: _origin_registry is sticky (ever owned a
         #: slot), _in_registry is current. A registry pool revived after
         #: a concurrent idle-eviction either reclaims its slot or
@@ -292,7 +292,7 @@ class RankPool:
                 # displaced dead pool: drain/sweep its resources like
                 # get_pool does, or its registry-recorded shm names
                 # would never be unlinked
-                stale.shutdown(forget=False)
+                stale.shutdown(forget=False)  # repro: allow(lock-discipline) -- stale is dead (not alive/never_started, checked under _POOLS_LOCK), so its workers hold no locks and its RLock is uncontended; ordering with our held _lock cannot deadlock
 
     def shutdown(self, *, forget: bool = True) -> None:
         """Stop the workers and reclaim every transport resource.
@@ -513,7 +513,7 @@ _POOLS: "OrderedDict[tuple, RankPool]" = OrderedDict()
 #: guards _POOLS only. Lock order is always pool._lock -> _POOLS_LOCK
 #: (shutdown -> _forget); pools to shut down are collected under the
 #: registry lock but torn down after releasing it, never the reverse.
-_POOLS_LOCK = threading.Lock()
+_POOLS_LOCK = make_lock("vmpi.pool.registry")
 _ATEXIT_REGISTERED = False
 
 

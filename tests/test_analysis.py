@@ -1,0 +1,633 @@
+"""Tests for the repro.analysis static analyzer.
+
+Golden fixtures per checker (a bad snippet producing a pinned finding,
+and its corrected form producing none), the suppression and baseline
+round-trips, the JSON report schema, the CLI exit contract — and the
+meta-test: the live ``src/`` tree is finding-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import analyze_paths, load_baseline, render_json
+from repro.analysis.baseline import filter_baseline, save_baseline
+from repro.analysis.cli import main
+from repro.analysis.core import Finding, all_checkers
+
+REPO = Path(__file__).resolve().parents[1]
+
+README_STUB = "# fixture\n\n`REPRO_SEED` seeds things.\n"
+
+
+def write_project(tmp_path: Path, files: dict[str, str], readme: str = README_STUB):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "README.md").write_text(readme, encoding="utf-8")
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(text), encoding="utf-8")
+    return tmp_path / "src"
+
+
+def run(tmp_path, files, select, readme: str = README_STUB):
+    src = write_project(tmp_path, files, readme=readme)
+    return analyze_paths([src], select=select)
+
+
+def by_checker(result, name):
+    return [f for f in result.findings if f.checker == name]
+
+
+# ----------------------------------------------------------------------
+# framework
+# ----------------------------------------------------------------------
+def test_all_checkers_registered():
+    names = set(all_checkers())
+    assert names == {
+        "shm-lifecycle", "env-discipline", "lock-discipline",
+        "determinism", "obs-conventions", "dead-code",
+    }
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    result = run(tmp_path, {"src/repro/broken.py": "def f(:\n"}, ["dead-code"])
+    assert [f.checker for f in result.findings] == ["parse"]
+    assert result.findings[0].line == 1
+
+
+def test_unknown_select_rejected(tmp_path):
+    write_project(tmp_path, {"src/repro/ok.py": "X = 1\n"})
+    with pytest.raises(ValueError, match="no-such-checker"):
+        analyze_paths([tmp_path / "src"], select=["no-such-checker"])
+
+
+# ----------------------------------------------------------------------
+# shm-lifecycle
+# ----------------------------------------------------------------------
+SHM_BAD = """\
+    from multiprocessing.shared_memory import SharedMemory
+
+    def grab(n):
+        shm = SharedMemory(create=True, size=n)
+        return shm
+
+    def drop(shm):
+        shm.unlink()
+"""
+
+
+def test_shm_lifecycle_bad(tmp_path):
+    result = run(tmp_path, {"src/repro/vmpi/rogue.py": SHM_BAD}, ["shm-lifecycle"])
+    symbols = {(f.symbol, f.line) for f in result.findings}
+    assert ("raw-create", 4) in symbols
+    assert ("raw-unlink", 8) in symbols
+    assert len(result.findings) == 2
+
+
+def test_shm_lifecycle_codec_rules(tmp_path):
+    codec = """\
+        from multiprocessing.shared_memory import SharedMemory
+
+        def _create_shm(n):
+            return SharedMemory(create=True, size=n)
+
+        def rogue_create(n):
+            return SharedMemory(create=True, size=n)
+
+        def encode(n, created):
+            shm = _create_shm(n)
+            created.append(shm.name)
+            return shm
+
+        def forgetful(n):
+            return _create_shm(n)
+    """
+    result = run(
+        tmp_path, {"src/repro/vmpi/process_backend.py": codec}, ["shm-lifecycle"]
+    )
+    symbols = {f.symbol for f in result.findings}
+    assert "create-outside-helper" in symbols
+    assert "unregistered-create:forgetful" in symbols
+    assert not any("encode" in s for s in symbols)
+    assert len(result.findings) == 2
+
+
+def test_shm_lifecycle_clean(tmp_path):
+    good = """\
+        def send(payload, codec):
+            return codec.encode(payload)
+    """
+    result = run(tmp_path, {"src/repro/vmpi/user.py": good}, ["shm-lifecycle"])
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# env-discipline
+# ----------------------------------------------------------------------
+CONFIG_FIXTURE = """\
+    import os
+
+    def env_int(name, default):
+        return int(os.environ.get(name, default))
+
+    def seed():
+        return env_int("REPRO_SEED", 0)
+
+    def undocumented():
+        return env_int("REPRO_GHOST", 1)
+"""
+
+
+def test_env_discipline_reads_and_literals(tmp_path):
+    rogue = """\
+        import os
+
+        def peek():
+            return os.environ.get("REPRO_SEED", "")
+
+        DOC = "set REPRO_TYPO to tune"
+    """
+    result = run(
+        tmp_path,
+        {
+            "src/repro/util/config.py": CONFIG_FIXTURE,
+            "src/repro/rogue.py": rogue,
+        },
+        ["env-discipline"],
+    )
+    symbols = {f.symbol for f in result.findings}
+    assert "environ" in symbols            # os.environ outside util.config
+    assert "unknown:REPRO_TYPO" in symbols  # literal with no accessor
+    assert "undocumented:REPRO_GHOST" in symbols  # knob missing from README
+    assert "unknown:REPRO_SEED" not in symbols    # real knob literal is fine
+
+
+def test_env_discipline_prefix_literal_ok(tmp_path):
+    doc = '''\
+        """Knobs: ``REPRO_SE*`` family."""
+    '''
+    result = run(
+        tmp_path,
+        {
+            "src/repro/util/config.py": CONFIG_FIXTURE.replace(
+                "REPRO_SEED", "REPRO_SE_ED"
+            ),
+            "src/repro/doc.py": doc.replace("REPRO_SE*", "REPRO_SE_*"),
+        },
+        ["env-discipline"],
+        readme="# fixture\n\nREPRO_SE_ED and REPRO_GHOST.\n",
+    )
+    assert not [f for f in result.findings if f.symbol.startswith("unknown:")]
+
+
+def test_env_discipline_clean(tmp_path):
+    result = run(
+        tmp_path,
+        {"src/repro/util/config.py": CONFIG_FIXTURE},
+        ["env-discipline"],
+        readme="# fixture\n\nREPRO_SEED and REPRO_GHOST are documented.\n",
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+DETERMINISM_BAD = """\
+    import time
+    import numpy as np
+
+    def stamp():
+        return time.time()
+
+    def draw():
+        return np.random.rand(3)
+
+    def gen():
+        return np.random.default_rng()
+
+    def buf(n):
+        out = np.empty(n)
+        return out
+"""
+
+
+def test_determinism_bad(tmp_path):
+    result = run(
+        tmp_path, {"src/repro/core/noise.py": DETERMINISM_BAD}, ["determinism"]
+    )
+    got = {(f.symbol, f.line) for f in result.findings}
+    assert ("wall-clock", 5) in got
+    assert ("np-legacy-rng", 8) in got
+    assert ("unseeded-rng", 11) in got
+    assert ("empty-escape", 14) in got
+    assert len(result.findings) == 4
+
+
+def test_determinism_good(tmp_path):
+    good = """\
+        import time
+        import numpy as np
+
+        def stamp():
+            return time.perf_counter()
+
+        def gen(seed):
+            return np.random.default_rng(seed)
+
+        def buf(n):
+            out = np.empty(n)
+            out[:] = 0.0
+            return out
+
+        def sentinel():
+            return np.empty(0)
+    """
+    result = run(tmp_path, {"src/repro/linalg/ok.py": good}, ["determinism"])
+    assert result.clean
+
+
+def test_determinism_scoped_to_numerics(tmp_path):
+    result = run(
+        tmp_path, {"src/repro/util/clock.py": DETERMINISM_BAD}, ["determinism"]
+    )
+    assert result.clean  # util is not a bitwise-parity package
+
+
+# ----------------------------------------------------------------------
+# lock-discipline
+# ----------------------------------------------------------------------
+def test_lock_guarded_attr_written_unguarded(tmp_path):
+    bad = """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    self._items.append(x)
+
+            def reset(self):
+                self._items = []
+    """
+    result = run(tmp_path, {"src/repro/service/box.py": bad}, ["lock-discipline"])
+    assert [f.symbol for f in result.findings] == ["Box._items"]
+    assert result.findings[0].line == 13
+
+
+def test_lock_guarded_attr_private_helper_propagation(tmp_path):
+    good = """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    self._put(x)
+
+            def _put(self, x):
+                self._items.append(x)
+
+            def reset_locked(self):
+                self._items = []
+    """
+    result = run(tmp_path, {"src/repro/service/box.py": good}, ["lock-discipline"])
+    assert result.clean
+
+
+def test_lock_order_cycle_detected_and_suppressible(tmp_path):
+    bad = """\
+        import threading
+
+        A_LOCK = threading.Lock()
+        B_LOCK = threading.Lock()
+
+        def forward():
+            with A_LOCK:
+                with B_LOCK:
+                    pass
+
+        def backward():
+            with B_LOCK:
+                with A_LOCK:
+                    pass
+    """
+    result = run(tmp_path, {"src/repro/service/order.py": bad}, ["lock-discipline"])
+    cycles = [f for f in result.findings if f.symbol.startswith("cycle:")]
+    assert len(cycles) == 1
+    assert "A_LOCK" in cycles[0].message and "B_LOCK" in cycles[0].message
+
+    fixed = bad.replace(
+        "                with A_LOCK:",
+        "                with A_LOCK:"
+        "  # repro: allow(lock-discipline) -- fixture edge",
+    )
+    assert fixed != bad
+    result2 = run(
+        tmp_path / "sup", {"src/repro/service/order.py": fixed}, ["lock-discipline"]
+    )
+    assert not [f for f in result2.findings if f.symbol.startswith("cycle:")]
+
+
+def test_lock_order_via_call_resolution(tmp_path):
+    bad = """\
+        import threading
+
+        REG_LOCK = threading.Lock()
+
+        def _forget():
+            with REG_LOCK:
+                pass
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def shutdown(self):
+                with self._lock:
+                    _forget()
+
+        def scan(pool):
+            with REG_LOCK:
+                pool.shutdown()
+    """
+    result = run(tmp_path, {"src/repro/vmpi/pools.py": bad}, ["lock-discipline"])
+    cycles = [f for f in result.findings if f.symbol.startswith("cycle:")]
+    assert len(cycles) == 1
+    assert "Pool._lock" in cycles[0].message and "REG_LOCK" in cycles[0].message
+
+
+def test_lock_foreign_instance_reacquire_flagged(tmp_path):
+    bad = """\
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def shutdown(self):
+                with self._lock:
+                    pass
+
+            def revive(self, other):
+                with self._lock:
+                    self.shutdown()
+                    other.shutdown()
+    """
+    result = run(tmp_path, {"src/repro/vmpi/pools.py": bad}, ["lock-discipline"])
+    foreign = [f for f in result.findings if f.symbol.startswith("foreign:")]
+    assert len(foreign) == 1  # self.shutdown() is a legal reentrant re-acquire
+    assert foreign[0].line == 14
+
+
+# ----------------------------------------------------------------------
+# obs-conventions
+# ----------------------------------------------------------------------
+def test_obs_conventions_bad(tmp_path):
+    bad = """\
+        from repro.obs import REGISTRY, trace
+
+        C1 = REGISTRY.counter("repro_events", "desc")
+        G1 = REGISTRY.gauge("repro_bytes_total", "desc")
+        H1 = REGISTRY.histogram("Repro_Latency", "desc", buckets=(1,))
+
+        def f(name):
+            with trace.span("Factor.Level"):
+                pass
+            with trace.span(name):
+                pass
+    """
+    result = run(tmp_path, {"src/repro/obs/bad.py": bad}, ["obs-conventions"])
+    symbols = {f.symbol for f in result.findings}
+    assert "metric:repro_events" in symbols          # counter missing _total
+    assert "metric:repro_bytes_total" in symbols     # gauge with _total
+    assert "metric:Repro_Latency" in symbols         # grammar violation
+    assert "span:Factor.Level" in symbols            # span grammar violation
+    assert "dynamic-span" in symbols                 # non-literal span name
+    assert len(result.findings) == 5
+
+
+def test_obs_conventions_conflict(tmp_path):
+    files = {
+        "src/repro/obs/a.py":
+            'from repro.obs import REGISTRY\n'
+            'C = REGISTRY.counter("repro_x_total", "d", labelnames=("k",))\n',
+        "src/repro/obs/b.py":
+            'from repro.obs import REGISTRY\n'
+            'C = REGISTRY.counter("repro_x_total", "d", labelnames=("other",))\n',
+    }
+    result = run(tmp_path, files, ["obs-conventions"])
+    assert [f.symbol for f in result.findings] == ["conflict:repro_x_total"]
+
+
+def test_obs_conventions_clean(tmp_path):
+    good = """\
+        from repro.obs import REGISTRY, trace
+
+        C = REGISTRY.counter("repro_solve_total", "d", labelnames=("kind",))
+        H = REGISTRY.histogram("repro_span_seconds", "d", buckets=(1,))
+
+        def f():
+            with trace.span("factor.skeletonize", level=2):
+                pass
+    """
+    result = run(tmp_path, {"src/repro/obs/good.py": good}, ["obs-conventions"])
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# dead-code
+# ----------------------------------------------------------------------
+def test_dead_code_unused_import_and_private(tmp_path):
+    files = {
+        "src/repro/util/helpers.py": """\
+            import os
+            import json
+
+            def _unused_helper():
+                return 1
+
+            def path_of(p):
+                return os.fspath(p)
+        """,
+    }
+    result = run(tmp_path, files, ["dead-code"])
+    symbols = {f.symbol for f in result.findings}
+    assert symbols == {"import:json", "private:_unused_helper"}
+
+
+def test_dead_code_cross_module_references_keep_alive(tmp_path):
+    files = {
+        "src/repro/util/helpers.py": """\
+            def _shared():
+                return 1
+
+            _STATE = {}
+        """,
+        "src/repro/util/client.py": """\
+            from repro.util.helpers import _shared
+            from repro.util import helpers
+
+            def go():
+                return _shared() + len(helpers._STATE)
+        """,
+    }
+    result = run(tmp_path, files, ["dead-code"])
+    assert result.clean
+
+
+def test_dead_code_init_reexports_exempt(tmp_path):
+    files = {
+        "src/repro/util/__init__.py": "from repro.util.helpers import thing\n",
+        "src/repro/util/helpers.py": "def thing():\n    return 1\n",
+    }
+    result = run(tmp_path, files, ["dead-code"])
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# suppression round-trip
+# ----------------------------------------------------------------------
+def test_suppression_with_reason(tmp_path):
+    src = """\
+        import json  # repro: allow(dead-code) -- fixture keeps it
+
+        X = 1
+    """
+    result = run(tmp_path, {"src/repro/util/s.py": src}, ["dead-code"])
+    assert result.clean
+    assert [f.checker for f in result.suppressed] == ["dead-code"]
+
+
+def test_suppression_without_reason_is_reported(tmp_path):
+    src = """\
+        import json  # repro: allow(dead-code)
+
+        X = 1
+    """
+    result = run(tmp_path, {"src/repro/util/s.py": src}, ["dead-code"])
+    checkers = [f.checker for f in result.findings]
+    assert checkers == ["suppression"]
+    assert "reason" in result.findings[0].message
+
+
+def test_suppression_unknown_checker_is_reported(tmp_path):
+    src = """\
+        X = 1  # repro: allow(made-up-checker) -- because
+
+        Y = 2
+    """
+    result = run(tmp_path, {"src/repro/util/s.py": src}, ["dead-code"])
+    assert [f.checker for f in result.findings] == ["suppression"]
+    assert "made-up-checker" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# baseline round-trip
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip(tmp_path):
+    files = {"src/repro/util/b.py": "import json\n\nX = 1\n"}
+    src = write_project(tmp_path, files)
+    first = analyze_paths([src], select=["dead-code"])
+    assert len(first.findings) == 1
+
+    baseline_file = tmp_path / "baseline.json"
+    save_baseline(first.findings, baseline_file)
+    entries = load_baseline(baseline_file)
+    second = analyze_paths([src], select=["dead-code"], baseline=entries)
+    assert second.clean
+    assert len(second.baselined) == 1
+
+
+def test_baseline_is_count_aware():
+    f1 = Finding("a.py", 1, 0, "dead-code", "m", "import:json")
+    f2 = Finding("a.py", 9, 0, "dead-code", "m", "import:json")
+    entries = [f1.to_dict()]
+    new, matched = filter_baseline([f1, f2], entries)
+    assert len(matched) == 1 and len(new) == 1
+
+
+def test_baseline_survives_line_drift():
+    recorded = Finding("a.py", 3, 0, "dead-code", "m", "import:json")
+    drifted = Finding("a.py", 42, 7, "dead-code", "m", "import:json")
+    new, matched = filter_baseline([drifted], [recorded.to_dict()])
+    assert not new and len(matched) == 1
+
+
+def test_baseline_rejects_bad_version(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# reporters / CLI
+# ----------------------------------------------------------------------
+def test_json_report_schema(tmp_path):
+    src = write_project(tmp_path, {"src/repro/util/j.py": "import json\nX = 1\n"})
+    result = analyze_paths([src], select=["dead-code"])
+    doc = json.loads(render_json(result))
+    assert doc["schema"] == 1
+    assert doc["ok"] is False
+    assert doc["checkers"] == ["dead-code"]
+    assert doc["counts"] == {"dead-code": 1}
+    (entry,) = doc["findings"]
+    assert set(entry) == {"path", "line", "col", "checker", "message", "symbol"}
+    assert entry["path"].endswith("j.py")
+    assert doc["suppressed"] == [] and doc["baselined"] == []
+
+
+def test_cli_exit_codes_and_output(tmp_path, capsys):
+    src = write_project(tmp_path, {"src/repro/util/c.py": "import json\nX = 1\n"})
+    out_file = tmp_path / "findings.json"
+    assert main([str(src), "--select", "dead-code",
+                 "--output", str(out_file)]) == 1
+    assert "FAIL: 1 finding(s)" in capsys.readouterr().out
+    assert json.loads(out_file.read_text())["ok"] is False
+
+    clean = write_project(tmp_path / "ok", {"src/repro/util/c.py": "X = 1\n"})
+    assert main([str(clean), "--select", "dead-code"]) == 0
+    assert "OK: 0 finding(s)" in capsys.readouterr().out
+
+    assert main(["--select", "nope", str(src)]) == 2
+
+
+def test_cli_write_then_use_baseline(tmp_path, capsys):
+    src = write_project(tmp_path, {"src/repro/util/c.py": "import json\nX = 1\n"})
+    baseline = tmp_path / "baseline.json"
+    assert main([str(src), "--select", "dead-code",
+                 "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main([str(src), "--select", "dead-code",
+                 "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# the gate itself
+# ----------------------------------------------------------------------
+def test_live_src_tree_is_finding_free():
+    """The committed tree holds the zero-finding invariant."""
+    result = analyze_paths([REPO / "src"])
+    details = "\n".join(
+        f"{f.location()}: [{f.checker}] {f.message}" for f in result.findings
+    )
+    assert result.clean, f"src/ has findings:\n{details}"
+
+
+def test_live_lock_order_graph_is_acyclic():
+    result = analyze_paths([REPO / "src"], select=["lock-discipline"])
+    cycles = [f for f in result.findings if f.symbol.startswith("cycle:")]
+    assert not cycles
