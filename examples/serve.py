@@ -20,6 +20,22 @@ The workload mimics a serving mix: ``--problems`` distinct operators
 the factorization cache, the single-flight lock, and the rhs batcher
 all see real concurrency. Tune the service with the ``REPRO_SERVICE_*``
 environment knobs (cache bytes, batch window/size/mode, workers).
+
+**Warm restarts.** Point ``--store`` (or ``REPRO_STORE_DIR``) at a
+directory and factorizations outlive the process: entries are published
+to the cross-process shared tier while the server runs and spilled to
+checksummed warm-start files on shutdown (SIGTERM/Ctrl-C both shut down
+cleanly). A restarted server loads them instead of refactoring::
+
+    PYTHONPATH=src python examples/serve.py --serve --port 8000 --store /tmp/repro-store
+    # ... solve some problems, then kill -TERM the server ...
+    PYTHONPATH=src python examples/serve.py --serve --port 8000 --store /tmp/repro-store
+    # same requests now show store_hits_disk > 0, factorizations == 0
+    # (GET /stats, or repro_store_hits_total on GET /metrics)
+
+Two servers sharing one ``--store`` on one machine attach each other's
+factorizations zero-copy through ``/dev/shm`` instead of each building
+their own.
 """
 
 from __future__ import annotations
@@ -117,6 +133,12 @@ def main() -> None:
     ap.add_argument("--threads", type=int, default=8, help="concurrent clients")
     ap.add_argument("--m", type=int, default=24, help="base grid side (N = m^2)")
     ap.add_argument("--problems", type=int, default=2, help="distinct operators")
+    ap.add_argument(
+        "--store",
+        metavar="DIR",
+        help="resident-store root: publish/attach shared entries and "
+        "spill warm-start files here (default: REPRO_STORE_DIR)",
+    )
     args = ap.parse_args()
 
     if args.client:
@@ -133,12 +155,20 @@ def main() -> None:
         print(json.dumps({"load": result, "stats": fetch_stats(host, port)}, indent=2))
         return
 
-    service = SolveService()
+    service = SolveService(**({"store_dir": args.store} if args.store else {}))
     server = make_server(service, args.host, args.port or (8000 if args.serve else 0))
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}  (POST /solve, GET /stats, GET /healthz)")
 
     if args.serve:
+        # SIGTERM shuts down as cleanly as Ctrl-C: the service close
+        # spills cached factorizations to the store for a warm restart
+        import signal
+
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _terminate)
         try:
             server.serve_forever()
         except KeyboardInterrupt:

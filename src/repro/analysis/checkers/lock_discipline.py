@@ -48,7 +48,7 @@ from repro.analysis.core import (
 )
 
 #: the packages participating in the whole-program lock-order graph
-LOCK_PACKAGES = ("repro.service", "repro.vmpi", "repro.obs")
+LOCK_PACKAGES = ("repro.service", "repro.vmpi", "repro.obs", "repro.store")
 
 #: constructors that produce a lock object
 _LOCK_CTORS = {"Lock", "RLock", "make_lock"}

@@ -25,6 +25,12 @@ from repro.kernels.base import KernelMatrix
 from repro.parallel.ownership import LevelLayout, max_ranks_for_tree
 from repro.parallel.solve import solve_worker
 from repro.parallel.worker import WorkerResult, factor_worker
+from repro.store.resident import (
+    ResidentHandle,
+    factor_retain_worker,
+    new_entry_id,
+    resident_supported,
+)
 from repro.tree.quadtree import QuadTree
 from repro.vmpi.clock import CostModel
 from repro.vmpi.launcher import SPMDRun, resolve_backend, run_spmd
@@ -49,7 +55,17 @@ class ParallelFactorization:
     #: alongside the factorization).
     backend: object = None
     last_solve_run: SPMDRun | None = None
+    #: parent-side :class:`~repro.store.resident.ResidentHandle` when the
+    #: rank workers retain this factorization's shards (persistent
+    #: process pool + ``REPRO_STORE_RESIDENT``); process-local — dropped
+    #: on pickling and lazily rebuilt by ``solve`` in the new process
+    resident: object = field(default=None, repr=False)
     _merged_stats: RankStats | None = field(default=None, repr=False)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["resident"] = None  # holds a live pool + lock
+        return state
 
     # -- timing (simulated) ---------------------------------------------
     @property
@@ -72,21 +88,46 @@ class ParallelFactorization:
 
     # -- results ----------------------------------------------------------
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Distributed application of the compressed inverse to ``b``."""
+        """Distributed application of the compressed inverse to ``b``.
+
+        On a persistent process pool the dispatch goes through the
+        resident store (tier 1): workers solve from their retained
+        shards and only ``(entry id, leaf ownership, rhs)`` crosses the
+        process boundary. The communication pattern inside the solve is
+        identical either way, so results and per-rank counters are
+        bitwise-stable across dispatch modes.
+        """
         b = np.asarray(b)
         if b.shape[0] != self.n:
             raise ValueError(f"rhs has {b.shape[0]} rows, expected {self.n}")
-        run = run_spmd(
-            self.p,
-            solve_worker,
-            self.workers,
-            self.n,
-            b,
-            cost_model=self.cost_model,
-            backend=self.backend,
-        )
+        handle = self._resident_handle()
+        if handle is not None:
+            run = handle.solve(self.n, b, cost_model=self.cost_model)
+        else:
+            run = run_spmd(
+                self.p,
+                solve_worker,
+                self.workers,
+                self.n,
+                b,
+                cost_model=self.cost_model,
+                backend=self.backend,
+            )
         self.last_solve_run = run
         return run.results[0]
+
+    def _resident_handle(self):
+        """This factorization's resident handle, built lazily.
+
+        An attached/unpickled factorization (store tiers 2/3) arrives
+        without one; its first solve in this process creates the handle
+        unseeded, and the handle ships the tree to the pool once.
+        """
+        if self.resident is None and resident_supported(self.backend):
+            self.resident = ResidentHandle(
+                new_entry_id(), self.p, self.backend, self.workers
+            )
+        return self.resident
 
     __call__ = solve
 
@@ -160,13 +201,20 @@ def parallel_srs_factor(
     # exactly as the sequential srs_factor does
     kernel.check_tree_resolution(QuadTree(np.zeros((0, 2)), nlevels, domain=domain))
 
+    # factor through the retaining entry point when the backend can host
+    # worker-resident shards: each rank keeps its WorkerResult as a side
+    # effect of the factor job (no extra communication, no extra job),
+    # so the first solve needs no seeding dispatch
+    use_resident = resident_supported(backend)
+    entry_id = new_entry_id() if use_resident else None
     run = run_spmd(
         p,
-        factor_worker,
+        factor_retain_worker if use_resident else factor_worker,
         kernel,
         nlevels,
         domain,
         opts,
+        *(() if entry_id is None else (entry_id,)),
         cost_model=cost_model,
         backend=backend,
     )
@@ -181,6 +229,13 @@ def parallel_srs_factor(
         cost_model=cost_model,
         backend=backend,
     )
+    if use_resident:
+        handle = ResidentHandle(entry_id, p, backend, workers)
+        # backend.pool is None when the dispatch fell back to per-call
+        # fork (unpicklable payload): the handle stays unseeded and the
+        # first solve ships the tree once
+        handle.adopt_pool(backend.pool)
+        fact.resident = handle
     eliminated = fact.eliminated_count()
     if eliminated != kernel.n:  # pragma: no cover - invariant
         raise RuntimeError(f"eliminated {eliminated} of {kernel.n} indices")

@@ -36,14 +36,37 @@ def solve_worker(comm: Comm, workers: list[WorkerResult], n: int, b: np.ndarray 
     and ``None`` elsewhere.
     """
     my = workers[comm.rank]
+    leaf_ids_list = [w.leaf_ids for w in workers] if comm.rank == 0 else None
+    return solve_shards(comm, my, leaf_ids_list, n, b)
+
+
+def solve_shards(
+    comm: Comm,
+    my: WorkerResult,
+    leaf_ids_list: list[np.ndarray] | None,
+    n: int,
+    b: np.ndarray | None,
+):
+    """Apply the compressed inverse given only this rank's shard.
+
+    The core of :func:`solve_worker`, factored so callers that already
+    hold their own :class:`WorkerResult` (worker-resident dispatch,
+    ``repro.store``) need not re-ship the whole factorization: rank 0
+    needs every rank's ``leaf_ids`` (to scatter ``b`` by ownership) but
+    nobody needs the other ranks' records. The communication pattern —
+    scatter, color rounds, reductions, gather — is identical to a
+    full-tree dispatch, so message/byte counters and results are
+    bitwise-stable across the two entry points.
+    """
     p = comm.size
 
     # -- scatter the right-hand side by leaf ownership -------------------
     payloads = None
     if comm.rank == 0:
         assert b is not None
+        assert leaf_ids_list is not None
         dtype = np.result_type(my.dtype, b.dtype)
-        payloads = [(w.leaf_ids, np.asarray(b)[w.leaf_ids].astype(dtype), b.shape[1:]) for w in workers]
+        payloads = [(ids, np.asarray(b)[ids].astype(dtype), b.shape[1:]) for ids in leaf_ids_list]
     ids, vals, tail_shape = comm.scatter(payloads, 0)
     x = np.zeros((n, *tail_shape), dtype=vals.dtype)
     x[ids] = vals

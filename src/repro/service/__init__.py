@@ -31,12 +31,17 @@ Quickstart::
 
 from repro.service.batcher import RhsBatcher
 from repro.service.cache import CacheLookup, FactorizationCache
-from repro.service.service import ServiceConfig, SolveService
+from repro.service.service import (
+    ServiceConfig,
+    ServiceOverloadedError,
+    SolveService,
+)
 from repro.service.stats import ServiceStats, StatsCollector
 
 __all__ = [
     "SolveService",
     "ServiceConfig",
+    "ServiceOverloadedError",
     "FactorizationCache",
     "CacheLookup",
     "RhsBatcher",

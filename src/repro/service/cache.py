@@ -44,7 +44,10 @@ def _backend_pool(fact: Any):
 class _Entry:
     """One cache slot: a finished factorization or an in-flight build."""
 
-    __slots__ = ("key", "event", "fact", "error", "nbytes", "build_seconds", "pinned_pool")
+    __slots__ = (
+        "key", "event", "fact", "error", "nbytes", "build_seconds",
+        "pinned_pool", "charge", "store_tier",
+    )
 
     def __init__(self, key: Hashable):
         self.key = key
@@ -56,6 +59,14 @@ class _Entry:
         #: the exact RankPool pinned at insert time (unpinned on evict —
         #: fact.backend.pool may point at a *replacement* pool by then)
         self.pinned_pool: Any = None
+        #: bytes charged against the LRU budget. Equals ``nbytes`` for
+        #: privately owned entries; 0 for shm-attached store entries,
+        #: whose blocks are counted once process-wide by the store's
+        #: ``repro_store_shared_bytes`` gauge instead of once per cache
+        self.charge = 0
+        #: which store tier satisfied the miss ("shared"/"disk"), or
+        #: ``None`` for a locally built entry
+        self.store_tier: str | None = None
 
     @property
     def ready(self) -> bool:
@@ -70,6 +81,7 @@ class CacheLookup(NamedTuple):
     waited: bool         #: hit, but on an in-flight build (single-flight)
     build_seconds: float  #: wall seconds of the build this entry cost (0 on hit)
     nbytes: int = 0      #: the entry's memory_bytes(), computed once at insert
+    store_tier: str | None = None  #: store tier a miss was served from, if any
 
 
 class FactorizationCache:
@@ -83,13 +95,29 @@ class FactorizationCache:
     on_evict:
         Optional callback invoked (outside the cache lock) with each
         evicted factorization.
+    store:
+        Optional :class:`~repro.store.FactorizationStore` behind the
+        cache: misses consult its shared/disk tiers (and cross-process
+        single-flight) before factoring; evicted and shutdown-time
+        entries spill to it; shm-attached entries charge 0 against the
+        byte budget.
     """
 
-    def __init__(self, max_bytes: int, *, on_evict: Callable[[Any], None] | None = None):
+    def __init__(
+        self,
+        max_bytes: int,
+        *,
+        on_evict: Callable[[Any], None] | None = None,
+        store: Any = None,
+    ):
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.max_bytes = int(max_bytes)
         self._on_evict = on_evict
+        #: optional :class:`~repro.store.FactorizationStore`: misses
+        #: consult it before building, evicted/shutdown entries spill to
+        #: it. All store calls happen outside the cache lock.
+        self._store = store
         self._lock = make_lock("service.cache")
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self.evictions = 0
@@ -100,9 +128,14 @@ class FactorizationCache:
     # ------------------------------------------------------------------
     @property
     def bytes_resident(self) -> int:
-        """Bytes held by finished entries."""
+        """Bytes this process privately owns for finished entries.
+
+        Shm-attached store entries charge 0 here — their blocks are
+        counted once process-wide by ``repro_store_shared_bytes``, not
+        once per cache that mapped them.
+        """
         with self._lock:
-            return sum(e.nbytes for e in self._entries.values() if e.ready)
+            return sum(e.charge for e in self._entries.values() if e.ready)
 
     def __len__(self) -> int:
         with self._lock:
@@ -141,11 +174,17 @@ class FactorizationCache:
                 raise TimeoutError(f"factorization build for {key!r} timed out")
             if entry.error is not None:
                 raise entry.error
-            return CacheLookup(entry.fact, True, waited, 0.0, entry.nbytes)
+            return CacheLookup(entry.fact, True, waited, 0.0, entry.nbytes, entry.store_tier)
 
         try:
             t0 = time.perf_counter()
-            fact = builder()
+            if self._store is None:
+                fact, tier = builder(), None
+            else:
+                # the store consults the shared/disk tiers and extends
+                # single-flight across processes; called outside the
+                # cache lock (it can factor, publish, or poll a peer)
+                fact, tier = self._store.fetch_or_build(key, builder)
             entry.build_seconds = time.perf_counter() - t0
         except BaseException as exc:
             entry.error = exc
@@ -156,9 +195,14 @@ class FactorizationCache:
             entry.event.set()
             raise
         entry.fact = fact
+        entry.store_tier = tier
         entry.nbytes = (
             int(fact.memory_bytes()) if hasattr(fact, "memory_bytes") else 0
         )
+        # an shm-attached entry's arrays live in store-owned shared
+        # blocks: charge them to the budget once process-wide (the
+        # store's gauge), not once per cache
+        entry.charge = 0 if tier == "shared" else entry.nbytes
         pool = _backend_pool(fact)
         if pool is not None:
             # best-effort warmth: the pin lands after the build, so a
@@ -179,7 +223,7 @@ class FactorizationCache:
             self._release(entry)
         else:
             self._enforce_budget(keep=key)
-        return CacheLookup(fact, False, False, entry.build_seconds, entry.nbytes)
+        return CacheLookup(fact, False, False, entry.build_seconds, entry.nbytes, tier)
 
     # ------------------------------------------------------------------
     # eviction
@@ -189,7 +233,7 @@ class FactorizationCache:
         evicted: list[_Entry] = []
         with self._lock:
             def resident() -> int:
-                return sum(e.nbytes for e in self._entries.values() if e.ready)
+                return sum(e.charge for e in self._entries.values() if e.ready)
 
             while resident() > self.max_bytes:
                 victim_key = next(
@@ -241,7 +285,15 @@ class FactorizationCache:
         self.clear()
 
     def _release(self, entry: _Entry) -> None:
-        """Free an evicted entry: unpin its pool and run the callback.
+        """Free an evicted entry: spill, invalidate, unpin, callback.
+
+        Order matters: (1) spill to the store's disk tier while the
+        arrays are certainly alive (skipped when the entry was *loaded*
+        from disk — the file is already there); (2) invalidate the
+        worker-resident shards so rank workers stop holding memory for
+        an entry the parent no longer serves; (3) unpin the rank pool;
+        (4) drop this process's hold on the shared shm entry (the last
+        live holder unlinks, leaving /dev/shm as found).
 
         ``entry.fact`` is deliberately left in place: a concurrent
         reader that found the entry ready before the eviction still
@@ -249,8 +301,16 @@ class FactorizationCache:
         reader drops its reference (the cache itself no longer holds
         the entry).
         """
+        fact = entry.fact
+        if self._store is not None and fact is not None and entry.store_tier != "disk":
+            self._store.spill(entry.key, fact)
+        handle = getattr(fact, "resident", None)
+        if handle is not None and hasattr(handle, "drop"):
+            handle.drop()
         pool, entry.pinned_pool = entry.pinned_pool, None
         if pool is not None:
             pool.unpin()
-        if self._on_evict is not None and entry.fact is not None:
-            self._on_evict(entry.fact)
+        if self._store is not None:
+            self._store.release(entry.key)
+        if self._on_evict is not None and fact is not None:
+            self._on_evict(fact)

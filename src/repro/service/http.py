@@ -35,8 +35,10 @@ Every response carries an ``X-Request-Id`` header (client-supplied
 ``request_id`` body field, or a fresh hex id); errors are structured as
 ``{"error": ..., "code": ..., "request_id": ...}`` with ``code`` one of
 ``bad_json`` / ``unknown_field`` / ``bad_field`` / ``not_found`` /
-``solver_error`` / ``internal``, plus a ``field`` key when a specific
-body field is at fault.
+``overloaded`` / ``solver_error`` / ``internal``, plus a ``field`` key
+when a specific body field is at fault. ``overloaded`` arrives with
+status 429 when admission control (``REPRO_SERVICE_MAX_PENDING``)
+refuses the request; back off and retry.
 
 Problem specs are built through a registry (:data:`PROBLEM_TYPES`) and
 cached (LRU) by their canonical JSON, so repeated requests for the same
@@ -58,7 +60,7 @@ from repro.api.config import SolveConfig
 from repro.core.options import SRSOptions
 from repro.obs import REGISTRY, log_event, render_prometheus
 from repro.obs.lockwatch import make_lock
-from repro.service.service import SolveService
+from repro.service.service import ServiceOverloadedError, SolveService
 
 #: most distinct problem objects kept alive by one server
 PROBLEM_CACHE_SIZE = 32
@@ -341,6 +343,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             report = self.server.service.solve(
                 problem, rhs, config, request_id=request_id
             )
+        except ServiceOverloadedError as exc:
+            # admission control refused the request; a structured 429
+            # tells well-behaved clients to back off and retry
+            self._reply_error(429, str(exc), "overloaded", request_id)
+            return
         except (ValueError, TypeError) as exc:
             # request-shaped failures (bad rhs length, method/problem
             # incompatibility) are the client's fault

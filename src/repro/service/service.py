@@ -35,17 +35,29 @@ from repro.api.fingerprint import problem_fingerprint
 from repro.api.problem import check_problem
 from repro.api.report import SolveReport
 from repro.api.strategies import resolve_execution, resolve_strategy
-from repro.obs import log_event, trace
+from repro.obs import REGISTRY, log_event, trace
 from repro.service.batcher import RhsBatcher
 from repro.service.cache import FactorizationCache
 from repro.service.stats import ServiceStats, StatsCollector
+from repro.store import FactorizationStore
 from repro.util.config import (
     service_batch_max,
     service_batch_mode,
     service_batch_window_s,
     service_cache_bytes,
+    service_max_pending,
     service_workers,
+    store_dir,
 )
+
+_REJECTED = REGISTRY.counter(
+    "repro_service_rejected_total",
+    "Requests refused by admission control (pending queue at max_pending)",
+)
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The pending-request queue is full; retry later (HTTP 429)."""
 
 
 @dataclass(frozen=True)
@@ -68,6 +80,13 @@ class ServiceConfig:
         :mod:`repro.service.batcher` (``REPRO_SERVICE_BATCH_MODE``).
     workers:
         Solver threads (``REPRO_SERVICE_WORKERS``).
+    max_pending:
+        Admission-control bound on requests in flight
+        (``REPRO_SERVICE_MAX_PENDING``; 0 disables). Submissions past
+        the bound raise :class:`ServiceOverloadedError` (HTTP 429).
+    store_dir:
+        Root of the resident store's shared/disk tiers
+        (``REPRO_STORE_DIR``; ``None`` leaves them off).
     """
 
     cache_bytes: int = field(default_factory=service_cache_bytes)
@@ -75,6 +94,8 @@ class ServiceConfig:
     batch_max: int = field(default_factory=service_batch_max)
     batch_mode: str = field(default_factory=service_batch_mode)
     workers: int = field(default_factory=service_workers)
+    max_pending: int = field(default_factory=service_max_pending)
+    store_dir: str | None = field(default_factory=store_dir)
 
     def __post_init__(self) -> None:
         if self.cache_bytes < 0:
@@ -85,10 +106,14 @@ class ServiceConfig:
             raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_pending < 0:
+            raise ValueError(f"max_pending must be >= 0, got {self.max_pending}")
 
 
 class _Request:
-    __slots__ = ("problem", "b", "config", "future", "t_submit", "request_id")
+    __slots__ = (
+        "problem", "b", "config", "future", "t_submit", "request_id", "admitted",
+    )
 
     def __init__(self, problem, b, config: SolveConfig, request_id: str | None = None):
         self.problem = problem
@@ -97,6 +122,8 @@ class _Request:
         self.future: Future = Future()
         self.t_submit = time.perf_counter()
         self.request_id = request_id or uuid.uuid4().hex[:12]
+        #: holds an admission slot until completion/failure/cancellation
+        self.admitted = True
 
 
 class SolveService:
@@ -117,7 +144,10 @@ class SolveService:
             config = replace(config, **overrides)
         self.config = config
         self._stats = StatsCollector()
-        self._cache = FactorizationCache(config.cache_bytes)
+        self._store = (
+            FactorizationStore(config.store_dir) if config.store_dir else None
+        )
+        self._cache = FactorizationCache(config.cache_bytes, store=self._store)
         self._batcher = RhsBatcher(
             config.batch_window,
             config.batch_max,
@@ -154,6 +184,12 @@ class SolveService:
         strategy = resolve_strategy(cfg.method)
         strategy.check_execution(cfg)
         strategy.check_compatible(problem, cfg)
+        if not self._stats.admit(self.config.max_pending):
+            self._stats.incr("rejected")
+            _REJECTED.inc()
+            raise ServiceOverloadedError(
+                f"pending queue full ({self.config.max_pending} requests in flight)"
+            )
         req = _Request(problem, b, cfg, request_id)
         self._stats.incr("requests")
         self._executor.submit(self._process, req)
@@ -194,12 +230,18 @@ class SolveService:
             bytes_resident=self._cache.bytes_resident,
             entries_resident=len(self._cache),
             evictions=self._cache.evictions,
+            bytes_shared=self._store.shared_bytes() if self._store else 0,
         )
 
     @property
     def cache(self) -> FactorizationCache:
         """The factorization cache (introspection/tests)."""
         return self._cache
+
+    @property
+    def store(self) -> FactorizationStore | None:
+        """The resident store behind the cache, if tiers 2/3 are on."""
+        return self._store
 
     def close(self, *, wait: bool = True) -> None:
         """Stop accepting requests, drain workers, drop the cache."""
@@ -208,6 +250,8 @@ class SolveService:
         self._closed.set()
         self._executor.shutdown(wait=wait)
         self._cache.close()
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "SolveService":
         return self
@@ -218,8 +262,15 @@ class SolveService:
     # ------------------------------------------------------------------
     # the worker path
     # ------------------------------------------------------------------
+    def _release_slot(self, req: _Request) -> None:
+        """Return the request's admission slot (idempotent)."""
+        if req.admitted:
+            req.admitted = False
+            self._stats.release()
+
     def _process(self, req: _Request) -> None:
         if not req.future.set_running_or_notify_cancel():
+            self._release_slot(req)
             return
         try:
             self._process_inner(req)
@@ -252,7 +303,12 @@ class SolveService:
                     self._stats.incr("single_flight_waits")
             else:
                 self._stats.incr("cache_misses")
-                self._stats.incr("factorizations")
+                if lookup.store_tier == "shared":
+                    self._stats.incr("store_hits_shared")
+                elif lookup.store_tier == "disk":
+                    self._stats.incr("store_hits_disk")
+                else:
+                    self._stats.incr("factorizations")
             fact = lookup.fact
             t_queue = time.perf_counter() - req.t_submit
 
@@ -308,6 +364,7 @@ class SolveService:
             self._finish(req, report)
 
     def _finish(self, req: _Request, report: SolveReport) -> None:
+        self._release_slot(req)
         report.request_id = req.request_id
         # the queue -> factor -> solve pipeline of this one request, in
         # wall seconds, from quantities measured where each phase ran
@@ -338,6 +395,7 @@ class SolveService:
         )
 
     def _fail(self, req: _Request, exc: BaseException) -> None:
+        self._release_slot(req)
         self._stats.incr("failed")
         log_event(
             "solve",

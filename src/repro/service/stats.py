@@ -35,10 +35,20 @@ class ServiceStats:
         finding a finished entry (the thundering-herd absorption).
     factorizations:
         Builders actually executed (the expensive events).
+    rejected:
+        Requests refused by admission control (the pending queue was
+        at ``max_pending``; HTTP clients see a structured 429).
+    store_hits_shared / store_hits_disk:
+        Cache misses satisfied by the resident store instead of a
+        fresh factorization — attached zero-copy from another
+        process's shm blocks, or loaded from a warm-start spill file.
     evictions:
         Cache entries dropped by the byte-budget LRU policy.
     bytes_resident / entries_resident:
-        Current cache footprint.
+        Current cache footprint (privately owned bytes; shm-attached
+        entries are counted in ``bytes_shared`` once process-wide).
+    bytes_shared:
+        Bytes held in store shared-memory blocks by this process.
     batches / batched_requests:
         Coalesced block solves dispatched, and requests carried by
         them; ``mean_batch_occupancy`` is their ratio and
@@ -52,12 +62,16 @@ class ServiceStats:
     requests: int = 0
     completed: int = 0
     failed: int = 0
+    rejected: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     single_flight_waits: int = 0
     factorizations: int = 0
+    store_hits_shared: int = 0
+    store_hits_disk: int = 0
     evictions: int = 0
     bytes_resident: int = 0
+    bytes_shared: int = 0
     entries_resident: int = 0
     batches: int = 0
     batched_requests: int = 0
@@ -94,15 +108,19 @@ class StatsCollector:
             "requests": 0,
             "completed": 0,
             "failed": 0,
+            "rejected": 0,
             "cache_hits": 0,
             "cache_misses": 0,
             "single_flight_waits": 0,
             "factorizations": 0,
+            "store_hits_shared": 0,
+            "store_hits_disk": 0,
             "evictions": 0,
             "batches": 0,
             "batched_requests": 0,
         }
         self._max_batch = 0
+        self._pending = 0
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
         # every count is mirrored into the process-wide metrics registry
         # (shared across service instances; /metrics renders cumulative
@@ -128,6 +146,33 @@ class StatsCollector:
             self._counts[name] += by
         self._m_events.inc(by, kind=name)
 
+    # ------------------------------------------------------------------
+    # admission control (bounded pending queue)
+    # ------------------------------------------------------------------
+    def admit(self, limit: int) -> bool:
+        """Claim one pending slot; False when ``limit`` are in flight.
+
+        ``limit <= 0`` disables the bound. Successful admissions must
+        be balanced by :meth:`release` when the request leaves the
+        system (completed, failed, or cancelled).
+        """
+        with self._lock:
+            if limit > 0 and self._pending >= limit:
+                return False
+            self._pending += 1
+        return True
+
+    def release(self) -> None:
+        """Return one pending slot (request finished either way)."""
+        with self._lock:
+            self._pending = max(0, self._pending - 1)
+
+    @property
+    def pending(self) -> int:
+        """Requests currently holding an admission slot."""
+        with self._lock:
+            return self._pending
+
     def record_batch(self, occupancy: int) -> None:
         with self._lock:
             self._counts["batches"] += 1
@@ -148,6 +193,7 @@ class StatsCollector:
         bytes_resident: int = 0,
         entries_resident: int = 0,
         evictions: int | None = None,
+        bytes_shared: int = 0,
     ) -> ServiceStats:
         with self._lock:
             counts = dict(self._counts)
@@ -162,6 +208,7 @@ class StatsCollector:
         return ServiceStats(
             **counts,
             bytes_resident=int(bytes_resident),
+            bytes_shared=int(bytes_shared),
             entries_resident=int(entries_resident),
             mean_batch_occupancy=mean_occ,
             max_batch_occupancy=max_batch,

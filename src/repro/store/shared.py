@@ -1,0 +1,152 @@
+"""Tier 2 of the resident store: cross-process shared-memory entries.
+
+A published cache entry is the existing zero-copy shm codec applied at
+rest: ``encode_payload(fact, shared=True)`` carves every large array
+into a named ``/dev/shm`` block, and the leftover pickle (the encoded
+tree, full of :class:`~repro.vmpi.process_backend.ShmRef` placeholders)
+lands in a sidecar file under the store root, wrapped in the same
+self-verifying envelope as a disk spill. Another front-end process
+attaches by unpickling the sidecar and running ``decode_payload`` —
+every block maps zero-copy, so N servers share one resident
+factorization instead of holding N copies.
+
+Block lifetime is refcounted through per-process marker files
+(``<digest>.ref.<pid>``) next to the sidecar: publish and attach each
+write their marker *before* touching blocks, release removes its own
+marker and — when no marker belongs to a live process — unlinks the
+blocks through the codec's ``_release_refs`` and removes the sidecar.
+``/dev/shm`` is left exactly as found once the last holder releases;
+a crashed holder's marker is reaped by the next releaser's liveness
+scan.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.store.disk import (
+    check_envelope,
+    envelope,
+    read_envelope,
+    remove_quiet,
+    write_atomic,
+)
+from repro.vmpi.process_backend import (
+    _release_refs,
+    collect_refs,
+    decode_payload,
+    encode_payload,
+    ref_nbytes,
+)
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+def sidecar_path(root: str, digest: str) -> str:
+    return os.path.join(root, f"{digest}.shared")
+
+
+def _ref_path(root: str, digest: str) -> str:
+    return os.path.join(root, f"{digest}.ref.{os.getpid()}")
+
+
+def _ref_pids(root: str, digest: str) -> list[tuple[str, int]]:
+    """(path, pid) of every refcount marker for ``digest``."""
+    prefix = f"{digest}.ref."
+    out = []
+    try:
+        names = os.listdir(root)
+    except FileNotFoundError:
+        return out
+    for name in names:
+        if name.startswith(prefix):
+            try:
+                out.append((os.path.join(root, name), int(name[len(prefix):])))
+            except ValueError:
+                continue
+    return out
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def shared_nbytes(refs: list) -> int:
+    """Bytes held in shm blocks by one published/attached entry."""
+    return sum(ref_nbytes(r) for r in refs)
+
+
+def publish_entry(root: str, digest: str, key, fact, min_bytes: int) -> list:
+    """Carve ``fact`` into shared blocks + sidecar; returns the ref list.
+
+    The refcount marker is written before the sidecar becomes visible,
+    so no attacher can ever observe a sidecar with zero markers.
+    """
+    created: list = []
+    try:
+        encoded = encode_payload(fact, min_bytes, created, shared=True)
+        payload = pickle.dumps(encoded, protocol=_PICKLE)
+    except Exception:
+        _release_refs(created)
+        raise
+    try:
+        with open(_ref_path(root, digest), "wb") as fh:
+            fh.write(b"1")
+        write_atomic(
+            sidecar_path(root, digest),
+            pickle.dumps(envelope(key, payload), protocol=_PICKLE),
+        )
+    except Exception:
+        _release_refs(created)
+        remove_quiet(_ref_path(root, digest))
+        raise
+    return list(created)
+
+
+def attach_entry(root: str, digest: str, key):
+    """``(fact, refs, None)`` mapped zero-copy, or ``(None, None, reason)``.
+
+    A sidecar whose blocks are gone (every holder crashed after the
+    last clean release) is stale: it is cleaned up and reported as
+    ``"stale"`` so the caller falls through to the disk tier.
+    """
+    path = sidecar_path(root, digest)
+    env = read_envelope(path)
+    if env is None:
+        return None, None, None
+    reason = "malformed" if env == "malformed" else check_envelope(env, key)
+    if reason is not None:
+        remove_quiet(path)
+        return None, None, reason
+    encoded = pickle.loads(env["payload"])
+    refs = collect_refs(encoded)
+    # visible to concurrent releasers before we start mapping blocks
+    with open(_ref_path(root, digest), "wb") as fh:
+        fh.write(b"1")
+    try:
+        fact = decode_payload(encoded)
+    except FileNotFoundError:
+        release_entry(root, digest, refs)
+        return None, None, "stale"
+    return fact, refs, None
+
+
+def release_entry(root: str, digest: str, refs: list) -> None:
+    """Drop this process's hold; the last live holder unlinks the blocks."""
+    remove_quiet(_ref_path(root, digest))
+    live = False
+    for path, pid in _ref_pids(root, digest):
+        if _pid_alive(pid):
+            live = True
+        else:
+            remove_quiet(path)  # reap a crashed holder's marker
+    if not live:
+        _release_refs(refs)
+        remove_quiet(sidecar_path(root, digest))

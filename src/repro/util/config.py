@@ -212,6 +212,80 @@ def service_workers() -> int:
     return n
 
 
+def service_max_pending() -> int:
+    """Admission-control bound on queued requests
+    (``REPRO_SERVICE_MAX_PENDING``, default 1024; 0 disables). A
+    ``submit`` arriving while this many requests are already pending
+    is rejected with ``ServiceOverloadedError`` (HTTP 429) instead of
+    queuing unbounded work behind a slow cold path."""
+    n = env_int("REPRO_SERVICE_MAX_PENDING", 1024)
+    if n < 0:
+        raise ValueError(f"REPRO_SERVICE_MAX_PENDING must be >= 0, got {n}")
+    return n
+
+
+# ----------------------------------------------------------------------
+# resident factorization store (repro.store) knobs
+# ----------------------------------------------------------------------
+def store_dir() -> str | None:
+    """Root directory of the cross-process factorization store
+    (``REPRO_STORE_DIR``).
+
+    Unset (default) disables tiers 2 and 3: no shared-memory publishing
+    and no disk spill — the cache behaves exactly as before. When set,
+    the directory holds sidecar indexes for shm-published entries,
+    spill files for warm restarts, and the cross-process single-flight
+    lockfiles. Created on first use.
+    """
+    raw = os.environ.get("REPRO_STORE_DIR")
+    if raw is None or raw.strip() == "":
+        return None
+    return raw
+
+
+def store_shared() -> bool:
+    """Whether cache entries are published as named shared-memory
+    blocks for other processes to attach (``REPRO_STORE_SHARED``,
+    default on; only meaningful when ``REPRO_STORE_DIR`` is set)."""
+    return env_flag("REPRO_STORE_SHARED", True)
+
+
+def store_spill() -> bool:
+    """Whether evicted / shutdown-time cache entries spill to disk for
+    warm restart (``REPRO_STORE_SPILL``, default on; only meaningful
+    when ``REPRO_STORE_DIR`` is set)."""
+    return env_flag("REPRO_STORE_SPILL", True)
+
+
+def store_resident() -> bool:
+    """Whether pooled rank workers retain their factorization shards so
+    repeated solves dispatch only ``(entry_id, rhs)`` instead of
+    re-shipping the whole tree (``REPRO_STORE_RESIDENT``, default on;
+    applies to the persistent process backend only)."""
+    return env_flag("REPRO_STORE_RESIDENT", True)
+
+
+def store_resident_max() -> int:
+    """Most factorizations each rank worker keeps resident
+    (``REPRO_STORE_RESIDENT_MAX``, default 8). Beyond the cap the
+    least recently solved entry is dropped worker-side; the next solve
+    against it transparently re-seeds from the parent."""
+    n = env_int("REPRO_STORE_RESIDENT_MAX", 8)
+    if n < 1:
+        raise ValueError(f"REPRO_STORE_RESIDENT_MAX must be >= 1, got {n}")
+    return n
+
+
+def store_lock_timeout_s() -> float:
+    """How long a process waits on another process's in-flight build of
+    the same entry before giving up and factoring locally
+    (``REPRO_STORE_LOCK_TIMEOUT_S``, default 30 seconds)."""
+    t = env_float("REPRO_STORE_LOCK_TIMEOUT_S", 30.0)
+    if t < 0:
+        raise ValueError(f"REPRO_STORE_LOCK_TIMEOUT_S must be >= 0, got {t}")
+    return t
+
+
 # ----------------------------------------------------------------------
 # observability (repro.obs) knobs
 # ----------------------------------------------------------------------

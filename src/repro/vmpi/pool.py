@@ -167,6 +167,10 @@ class RankPool:
         self.spawn_count = 0
         #: dispatches completed or failed through this pool
         self.jobs_run = 0
+        #: worker-cohort epoch: bumped every (re)spawn. Holders of
+        #: worker-resident state (repro.store) compare it to detect that
+        #: the ranks they seeded are gone and must be re-seeded.
+        self.generation = 0
         self._job_id = 0
         self._procs: list | None = None
         self._registered: set = set()
@@ -273,6 +277,7 @@ class RankPool:
             self.shutdown(forget=False)
             raise
         self.spawn_count += len(self._procs)
+        self.generation += 1
         if self._origin_registry and not self._in_registry:
             # concurrently evicted from the registry while idle, now
             # revived: reclaim the slot if it is free or held by a dead

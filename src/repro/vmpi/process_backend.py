@@ -303,6 +303,40 @@ def _release_refs(obj: Any) -> None:
                 _release_refs(v)
 
 
+def collect_refs(obj: Any, out: list | None = None) -> list:
+    """Every :class:`ShmRef` reachable in a payload tree.
+
+    The read-only companion of :func:`_release_refs`: holders of
+    at-rest encoded payloads (``repro.store``'s shared tier) keep this
+    list so they can account and later reclaim the blocks without
+    retaining — or re-walking — the whole encoded tree.
+    """
+    if out is None:
+        out = []
+    if isinstance(obj, ShmRef):
+        out.append(obj)
+    elif isinstance(obj, (tuple, list, set)):
+        for x in obj:
+            collect_refs(x, out)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            collect_refs(v, out)
+    else:
+        fields = _walkable_fields(obj)
+        if fields is not None:
+            for v in fields.values():
+                collect_refs(v, out)
+    return out
+
+
+def ref_nbytes(ref: ShmRef) -> int:
+    """Bytes of the shm block behind one :class:`ShmRef`."""
+    n = 1
+    for s in ref.shape:
+        n *= int(s)
+    return n * np.dtype(ref.dtype).itemsize
+
+
 def _drain_mailbox(q) -> None:
     """Throw away queued messages, unlinking their shared blocks."""
     while True:

@@ -1,0 +1,418 @@
+"""Resident-store tests: the three tiers and their cleanup contracts.
+
+The acceptance contract of the store subsystem:
+
+* **tier 1** — pooled repeated solves ship O(rhs) dispatch payloads,
+  reseed transparently across pool respawns, and eviction invalidates
+  the worker-side registry;
+* **tier 2** — a second *process* attaches a published entry zero-copy
+  and solves bitwise-identically without refactoring;
+* **tier 3** — a fresh interpreter warm-starts from a spill file, and
+  corrupted or version-mismatched files are rejected and removed;
+* **cleanliness** — after release, ``/dev/shm`` and the store directory
+  hold nothing but the intended warm-start spill files.
+"""
+
+import glob
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import LaplaceVolumeProblem
+from repro.service import ServiceConfig, ServiceOverloadedError, SolveService
+from repro.store import FactorizationStore
+from repro.store.disk import (
+    STORE_FORMAT,
+    envelope,
+    key_digest,
+    load_spill,
+    spill_entry,
+    write_atomic,
+)
+from repro.vmpi import process_backend_available
+
+needs_process = pytest.mark.skipif(
+    not process_backend_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+
+def _shm_blocks() -> set:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _residue(root) -> list:
+    """Store files other than the intended warm-start spills."""
+    return [
+        name
+        for name in os.listdir(root)
+        if not name.endswith(".spill")
+    ]
+
+
+# ----------------------------------------------------------------------
+# tier 3: spill files
+# ----------------------------------------------------------------------
+def test_spill_roundtrip_bitwise(tmp_path):
+    path = str(tmp_path / "entry.spill")
+    key = ("fingerprint", ("direct", 1e-10))
+    fact = {"lu": np.arange(1000, dtype=np.float64), "piv": np.arange(10)}
+    spill_entry(path, key, fact)
+    loaded, reason = load_spill(path, key)
+    assert reason is None
+    assert np.array_equal(loaded["lu"], fact["lu"])
+    assert np.array_equal(loaded["piv"], fact["piv"])
+
+
+def test_spill_rejects_corruption(tmp_path):
+    path = str(tmp_path / "entry.spill")
+    key = ("fp", "setup")
+    spill_entry(path, key, np.ones(500))
+    raw = bytearray(open(path, "rb").read())
+    raw[len(raw) // 2] ^= 0xFF  # flip a payload bit
+    open(path, "wb").write(bytes(raw))
+    loaded, reason = load_spill(path, key)
+    assert loaded is None
+    assert reason is not None
+    assert not os.path.exists(path)  # poisoned file removed
+
+
+def test_spill_rejects_truncation(tmp_path):
+    path = str(tmp_path / "entry.spill")
+    spill_entry(path, "k", np.ones(500))
+    open(path, "wb").write(open(path, "rb").read()[:64])
+    loaded, reason = load_spill(path, "k")
+    assert loaded is None and reason == "malformed"
+    assert not os.path.exists(path)
+
+
+def test_spill_rejects_format_and_version_mismatch(tmp_path):
+    key = "some-key"
+    for field, value, expect in (
+        ("format", STORE_FORMAT + 1, "format"),
+        ("numpy", "0.0.0", "version"),
+        ("key", repr("other-key"), "key"),
+    ):
+        path = str(tmp_path / f"{field}.spill")
+        env = envelope(key, pickle.dumps(np.ones(8)))
+        env[field] = value
+        write_atomic(path, pickle.dumps(env))
+        loaded, reason = load_spill(path, key)
+        assert loaded is None and reason == expect
+        assert not os.path.exists(path)
+
+
+def test_spill_wrong_key_digest_collision(tmp_path):
+    # same file asked for a different key: the key check rejects it
+    path = str(tmp_path / "entry.spill")
+    spill_entry(path, ("fp", 1), np.ones(8))
+    loaded, reason = load_spill(path, ("fp", 2))
+    assert loaded is None and reason == "key"
+
+
+# ----------------------------------------------------------------------
+# the store facade: fetch_or_build, single-flight lockfile, spill tier
+# ----------------------------------------------------------------------
+def test_fetch_or_build_spills_and_warm_loads(tmp_path):
+    root = str(tmp_path)
+    builds = []
+
+    def builder():
+        builds.append(1)
+        return {"x": np.arange(64, dtype=float)}
+
+    a = FactorizationStore(root, shared=False, spill=True)
+    fact, tier = a.fetch_or_build(("fp", "s"), builder)
+    assert tier is None and len(builds) == 1
+    assert os.path.exists(a._spill_path(key_digest(("fp", "s"))))
+
+    # a second store (fresh process stand-in) loads the spill instead
+    b = FactorizationStore(root, shared=False, spill=True)
+    fact2, tier2 = b.fetch_or_build(("fp", "s"), builder)
+    assert tier2 == "disk" and len(builds) == 1
+    assert np.array_equal(fact2["x"], fact["x"])
+    assert _residue(root) == []  # no locks/markers left behind
+
+
+def test_lockfile_dead_owner_is_reaped(tmp_path):
+    root = str(tmp_path)
+    store = FactorizationStore(root, shared=False, spill=False)
+    digest = key_digest("k")
+    # a lockfile owned by a dead pid must not block the build forever
+    with open(store._lock_path(digest), "w") as fh:
+        fh.write("999999999")
+    fact, tier = store.fetch_or_build("k", lambda: "built")
+    assert fact == "built" and tier is None
+    assert not os.path.exists(store._lock_path(digest))
+
+
+def test_lock_timeout_builds_privately(tmp_path):
+    root = str(tmp_path)
+    store = FactorizationStore(root, shared=False, spill=False, lock_timeout=0.0)
+    digest = key_digest("k")
+    with open(store._lock_path(digest), "w") as fh:
+        fh.write(str(os.getpid()))  # a live "peer" that never finishes
+    fact, tier = store.fetch_or_build("k", lambda: "local")
+    assert fact == "local" and tier is None
+    os.remove(store._lock_path(digest))
+
+
+# ----------------------------------------------------------------------
+# tier 2: shared entries (same machine, refcounted /dev/shm blocks)
+# ----------------------------------------------------------------------
+@needs_process
+def test_shared_publish_release_leaves_shm_as_found(tmp_path):
+    root = str(tmp_path)
+    before = _shm_blocks()
+    store = FactorizationStore(root, shared=True, spill=False, min_shm_bytes=128)
+    fact, tier = store.fetch_or_build(
+        "k", lambda: {"a": np.arange(4096, dtype=np.float64)}
+    )
+    assert tier is None
+    assert store.shared_published("k") and store.holds_shared("k")
+    assert store.shared_bytes() == 4096 * 8
+    assert _shm_blocks() > before  # blocks are live while held
+    store.release("k")
+    assert not store.holds_shared("k") and not store.shared_published("k")
+    assert _shm_blocks() == before
+    assert _residue(root) == []
+
+
+@needs_process
+def test_shared_attach_in_second_process_is_bitwise(tmp_path):
+    """A fresh interpreter attaches the published entry, no refactor."""
+    root = str(tmp_path / "store")
+    prob = LaplaceVolumeProblem(m=16)
+    b = prob.random_rhs(0)
+    np.save(tmp_path / "rhs.npy", b)
+    before = _shm_blocks()
+
+    with SolveService(ServiceConfig(store_dir=root)) as service:
+        report = service.solve(prob, b)
+        assert service.stats().factorizations == 1
+        assert service.store.shared_published(
+            next(iter(service.cache._entries))
+        )
+
+        code = textwrap.dedent(
+            f"""
+            import numpy as np
+            from repro.apps import LaplaceVolumeProblem
+            from repro.service import ServiceConfig, SolveService
+
+            prob = LaplaceVolumeProblem(m=16)
+            b = np.load({str(tmp_path / "rhs.npy")!r})
+            with SolveService(ServiceConfig(store_dir={root!r})) as service:
+                report = service.solve(prob, b)
+                stats = service.stats()
+                assert stats.factorizations == 0, stats
+                assert stats.store_hits_shared == 1, stats
+                assert stats.bytes_shared > 0, stats
+                np.save({str(tmp_path / "x_child.npy")!r}, report.x)
+            """
+        )
+        cwd = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": os.path.join(cwd, "src")},
+            cwd=cwd,
+        )
+        assert proc.returncode == 0, proc.stderr
+        x_child = np.load(tmp_path / "x_child.npy")
+        assert np.array_equal(x_child, report.x)  # bitwise, not approx
+
+    # parent was the last holder: blocks unlinked, only spills remain
+    assert _shm_blocks() == before
+    assert _residue(root) == []
+
+
+def test_warm_restart_from_disk_in_fresh_process(tmp_path):
+    """serve -> shutdown -> serve again: the restart factors nothing."""
+    root = str(tmp_path / "store")
+    rhs = str(tmp_path / "rhs.npy")
+    np.save(rhs, LaplaceVolumeProblem(m=16).random_rhs(3))
+    run = textwrap.dedent(
+        """
+        import sys
+        import numpy as np
+        from repro.apps import LaplaceVolumeProblem
+        from repro.service import ServiceConfig, SolveService
+
+        root, rhs, out, expect_tier = sys.argv[1:5]
+        prob = LaplaceVolumeProblem(m=16)
+        b = np.load(rhs)
+        with SolveService(ServiceConfig(store_dir=root)) as service:
+            report = service.solve(prob, b)
+            stats = service.stats()
+            if expect_tier == "cold":
+                assert stats.factorizations == 1, stats
+            else:
+                assert stats.factorizations == 0, stats
+                assert stats.store_hits_shared + stats.store_hits_disk == 1, stats
+            np.save(out, report.x)
+        """
+    )
+    env = {**os.environ, "PYTHONPATH": "src"}
+    cwd = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    x1, x2 = str(tmp_path / "x1.npy"), str(tmp_path / "x2.npy")
+    for out, phase in ((x1, "cold"), (x2, "warm")):
+        proc = subprocess.run(
+            [sys.executable, "-c", run, root, rhs, out, phase],
+            capture_output=True, text=True, env=env, cwd=cwd,
+        )
+        assert proc.returncode == 0, proc.stderr
+    assert np.array_equal(np.load(x1), np.load(x2))
+    assert _residue(root) == []  # spill files only: locks/markers cleaned
+
+
+# ----------------------------------------------------------------------
+# tier 1: worker-resident shards (persistent process pool)
+# ----------------------------------------------------------------------
+def _resident_ids_prog(comm):
+    from repro.store.resident import resident_entries
+
+    return resident_entries()
+
+
+@needs_process
+def test_eviction_invalidates_worker_registry():
+    from repro.service.cache import FactorizationCache
+
+    before = _shm_blocks()
+    prob = LaplaceVolumeProblem(m=24)
+    cache = FactorizationCache(1 << 40)
+    lookup = cache.get_or_build(
+        "k",
+        lambda: repro.solve(
+            prob, prob.random_rhs(0), method="direct", execution="process", ranks=4
+        ).factorization,
+    )
+    fact = lookup.fact
+    handle = fact.resident
+    assert handle is not None
+    x1 = fact.solve(prob.random_rhs(1))
+    pool = fact.backend.pool
+    resident = pool.run(_resident_ids_prog, ()).results[0]
+    assert handle.entry_id in resident
+
+    assert cache.evict("k")
+    resident = pool.run(_resident_ids_prog, ()).results[0]
+    assert handle.entry_id not in resident  # invalidated on eviction
+
+    # the factorization object itself still solves (reseeds on demand)
+    x2 = fact.solve(prob.random_rhs(1))
+    assert np.array_equal(x1, x2)
+    fact.resident.drop()
+    pool.shutdown()
+    assert _shm_blocks() == before
+
+
+@needs_process
+def test_worker_respawn_rematerializes_shards():
+    from repro.store.resident import _SEEDS
+
+    prob = LaplaceVolumeProblem(m=24)
+    fact = repro.solve(
+        prob, prob.random_rhs(0), method="direct", execution="process", ranks=4
+    ).factorization
+    b = prob.random_rhs(7)
+    x1 = fact.solve(b)
+    pool = fact.backend.pool
+    gen = pool.generation
+
+    pool.shutdown(forget=False)  # simulate worker death / pool teardown
+    seeds_before = _SEEDS.value()
+    x2 = fact.solve(b)  # new cohort -> reseed -> solve, same bits
+    assert np.array_equal(x1, x2)
+    # the handle saw a different cohort: a replacement pool object, or
+    # the same object respawned with a bumped generation
+    new_pool = fact.backend.pool
+    assert new_pool is not pool or new_pool.generation > gen
+    assert new_pool.alive
+    assert _SEEDS.value() == seeds_before + 1
+    fact.resident.drop()
+    fact.backend.pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+def test_submit_raises_when_pending_full():
+    prob = LaplaceVolumeProblem(m=16)
+    with SolveService(max_pending=1, store_dir=None) as service:
+        # occupy the single slot so the next submit is refused
+        assert service._stats.admit(1)
+        with pytest.raises(ServiceOverloadedError):
+            service.submit(prob, prob.random_rhs(0))
+        assert service.stats().rejected == 1
+        service._stats.release()
+        # slot free again: the request goes through
+        assert service.solve(prob, prob.random_rhs(0)).converged
+        assert service._stats.pending == 0  # finished requests release
+
+
+def test_admission_zero_disables_bound():
+    prob = LaplaceVolumeProblem(m=16)
+    with SolveService(max_pending=0, store_dir=None) as service:
+        for i in range(4):
+            assert service.solve(prob, prob.random_rhs(i)).converged
+        assert service.stats().rejected == 0
+
+
+def test_http_429_overloaded(tmp_path):
+    import json
+    import threading
+    import urllib.request
+
+    from repro.service.http import make_server
+
+    with SolveService(max_pending=1, store_dir=None) as service:
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address
+            assert service._stats.admit(1)  # saturate the queue
+            req = urllib.request.Request(
+                f"http://{host}:{port}/solve",
+                data=json.dumps(
+                    {"problem": {"type": "laplace_volume", "m": 16}}
+                ).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(req)
+            err = exc_info.value
+            assert err.code == 429
+            payload = json.loads(err.read())
+            assert payload["code"] == "overloaded"
+            assert "request_id" in payload
+            service._stats.release()
+        finally:
+            server.shutdown()
+            thread.join()
+
+
+def test_rejected_total_counter_increments():
+    from repro.obs import REGISTRY
+
+    counter = REGISTRY.counter(
+        "repro_service_rejected_total",
+        "Requests refused by admission control (pending queue at max_pending)",
+    )
+    prob = LaplaceVolumeProblem(m=16)
+    with SolveService(max_pending=1, store_dir=None) as service:
+        before = counter.value()
+        assert service._stats.admit(1)
+        with pytest.raises(ServiceOverloadedError):
+            service.submit(prob, prob.random_rhs(0))
+        assert counter.value() == before + 1
+        service._stats.release()
