@@ -139,6 +139,31 @@ def _run_workload(name, kernel, b, opts, relres, domain=None) -> dict:
     return entry
 
 
+def _factor_mode_sweep(problem) -> dict:
+    """Sequential strict-vs-batched factor wall time (best of 3).
+
+    The level-batched sweep (``repro.core.batch``) must be the
+    measured-faster mode at the Table II workload size — this entry is
+    the recorded evidence, and the smoke test below pins batched <=
+    strict so a regression fails CI.
+    """
+    from repro.core import srs_factor
+
+    b = problem.random_rhs()
+    entry: dict = {"n": int(problem.kernel.n), "repeats": 3}
+    for mode in ("strict", "batched"):
+        opts = SRSOptions(tol=1e-6, leaf_size=64, factor_mode=mode)
+        times = []
+        for _ in range(entry["repeats"]):
+            t0 = time.perf_counter()
+            fact = srs_factor(problem.kernel, opts=opts)
+            times.append(time.perf_counter() - t0)
+        entry[f"{mode}_seconds"] = min(times)
+        entry[f"{mode}_relres"] = float(problem.relres(fact.solve(b), b))
+    entry["speedup"] = entry["strict_seconds"] / entry["batched_seconds"]
+    return entry
+
+
 def run_sweep() -> dict:
     laplace = LaplaceVolumeProblem(LAPLACE_M)
     bie = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), BIE_N)
@@ -172,6 +197,7 @@ def run_sweep() -> dict:
         "machine": platform.machine(),
         "backends": _backends(),
         "workloads": workloads,
+        "factor_mode": _factor_mode_sweep(laplace),
     }
 
 
@@ -222,6 +248,15 @@ def render(result: dict) -> str:
                 f"smaller via worker-resident shards); parity "
                 f"{wl['parity']}"
             )
+    fm = result["factor_mode"]
+    lines.append(
+        f"sequential factor sweep at N={fm['n']}: strict "
+        f"{format_seconds(fm['strict_seconds'])}, batched "
+        f"{format_seconds(fm['batched_seconds'])} "
+        f"({fm['speedup']:.2f}x, best of {fm['repeats']}); relres "
+        f"strict {format_sci(fm['strict_relres'])} / batched "
+        f"{format_sci(fm['batched_relres'])}"
+    )
     return "\n".join(lines)
 
 
@@ -318,6 +353,19 @@ def test_process_backend_scales_with_cores(sweep):
             f"{best:.2f}x is informational"
         )
     assert laplace["speedup_over_thread"]["process_pool"] > 1.0
+
+
+def test_batched_factor_not_slower(sweep):
+    """The level-batched sweep must not lose to strict at bench scale.
+
+    Batched amortizes kernel evaluation and CPQR dispatch across a
+    whole color phase; if it ever times slower than the per-box loop
+    the batching machinery has regressed into pure overhead.
+    """
+    fm = sweep["factor_mode"]
+    assert fm["batched_seconds"] <= fm["strict_seconds"], fm
+    # and it must not buy that speed with accuracy
+    assert fm["batched_relres"] <= 10 * fm["strict_relres"] + 1e-12
 
 
 if __name__ == "__main__":

@@ -12,7 +12,11 @@ the numerics packages must stay free of every nondeterminism source:
   never subscript-assigned in its function can leak heap garbage into
   results. Zero-size sentinels (``np.empty(0, ...)``) are exempt; a
   buffer is accepted once the function stores into it (``out[...]=``,
-  ``out.fill``) or hands it to a documented out-parameter.
+  ``out.fill``) or hands it to a documented out-parameter;
+* function-local ``import time``: a hot loop importing the clock
+  inline hides wall-clock usage from review — time a section with
+  :func:`repro.obs.stopwatch` (or a module-level import for
+  reporting), never an ad-hoc local import.
 
 ``time.perf_counter`` stays allowed: timing *reports* may vary, the
 numbers in the solution vector may not.
@@ -136,7 +140,22 @@ class DeterminismChecker(Checker):
             and any(alias.name == "random" for alias in node.names)
             for node in ast.walk(mod.tree)
         )
+        owners = enclosing_functions(mod.tree)
         for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time" and isinstance(
+                        owners.get(node),
+                        (ast.FunctionDef, ast.AsyncFunctionDef),
+                    ):
+                        yield mod.finding(
+                            node, self.name,
+                            "function-local `import time` in a parity "
+                            "package hides wall-clock use in a hot loop; "
+                            "time sections with repro.obs.stopwatch (or a "
+                            "module-level import for reporting)",
+                            "local-time-import",
+                        )
             if isinstance(node, ast.ImportFrom):
                 if node.module == "time" and any(
                     alias.name in {"time", "time_ns"} for alias in node.names
@@ -163,7 +182,6 @@ class DeterminismChecker(Checker):
                             "stdlib-random",
                         )
 
-        owners = enclosing_functions(mod.tree)
         parents = _parent_map(mod.tree)
         for node in ast.walk(mod.tree):
             if not isinstance(node, ast.Call):

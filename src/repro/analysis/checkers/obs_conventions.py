@@ -7,6 +7,9 @@ are uniform. Enforced:
   argument (a dynamic span name defeats both this checker and any
   dashboard query), and span names match
   ``segment(.segment)*`` with ``[a-z][a-z0-9_]*`` segments.
+* span *attributes* are named keyword arguments matching
+  ``[a-z][a-z0-9_]*`` — no ``**dynamic`` unpacking (unjoinable keys)
+  and no camel/upper-case attribute names.
 * metric families declared through ``REGISTRY.counter/gauge/histogram``
   (or the module-level helpers) are literal, match
   ``repro_[a-z][a-z0-9_]*``, counters end in ``_total`` and
@@ -39,6 +42,7 @@ from repro.analysis.core import (
 )
 
 SPAN_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+ATTR_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 METRIC_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
 _RESERVED_SUFFIXES = ("_bucket", "_sum", "_count")
 _METRIC_KINDS = {"counter", "gauge", "histogram"}
@@ -114,6 +118,24 @@ class ObsConventionsChecker(Checker):
                 "(\\.[a-z][a-z0-9_]*)*$)",
                 f"span:{name}",
             )
+        if method != "span":
+            return
+        for kw in call.keywords:
+            if kw.arg is None:
+                yield mod.finding(
+                    call, self.name,
+                    f"span {name!r} sets attributes via **-unpacking; "
+                    "attribute keys must be statically known to stay "
+                    "joinable across exports",
+                    f"span-attrs:{name}",
+                )
+            elif not ATTR_RE.match(kw.arg):
+                yield mod.finding(
+                    call, self.name,
+                    f"span {name!r} attribute {kw.arg!r} violates the "
+                    "grammar ^[a-z][a-z0-9_]*$",
+                    f"span-attr:{name}.{kw.arg}",
+                )
 
     def _check_metric(
         self,

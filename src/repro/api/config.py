@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.options import SRSOptions
 
@@ -73,6 +73,13 @@ class SolveConfig:
         Factorization options (ID tolerance, leaf size, proxy
         parameters) passed to the RS-S engines, and the leaf size used
         by ``block_jacobi``.
+    factor_mode:
+        Shorthand for ``srs.factor_mode`` (``"strict"``, ``"batched"``
+        or ``"auto"``): when set, ``srs`` is rewritten with this sweep
+        mode at construction, so ``repro.solve(prob, b,
+        factor_mode="batched")`` works without spelling out a full
+        :class:`~repro.core.options.SRSOptions`. ``None`` (default)
+        leaves ``srs`` untouched.
     """
 
     method: str = "direct"
@@ -83,6 +90,7 @@ class SolveConfig:
     restart: int = 50
     operator: str = "auto"
     srs: SRSOptions = field(default_factory=SRSOptions)
+    factor_mode: str | None = None
 
     def __post_init__(self) -> None:
         # deferred import: the registry lives in strategies.py, which
@@ -108,3 +116,9 @@ class SolveConfig:
             raise ValueError(f"restart must be positive, got {self.restart}")
         if self.ranks is not None and self.ranks < 1:
             raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.factor_mode is not None and self.factor_mode != self.srs.factor_mode:
+            # frozen dataclass: route the rewrite through __setattr__;
+            # SRSOptions.__post_init__ validates the mode name
+            object.__setattr__(
+                self, "srs", replace(self.srs, factor_mode=self.factor_mode)
+            )

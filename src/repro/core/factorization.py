@@ -15,13 +15,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batch import batch_pair_blocks, skeletonize_level_batched
 from repro.core.interactions import Coord, InteractionStore, PairKey
 from repro.core.options import SRSOptions
 from repro.core.proxy import proxy_points_for_box
 from repro.core.skel import BoxRecord, skeletonize_box
 from repro.core.stats import RankStats
 from repro.kernels.base import KernelMatrix
-from repro.obs import REGISTRY, trace
+from repro.obs import REGISTRY, stopwatch, trace
 from repro.tree.quadtree import QuadTree
 from repro.util.timing import TimingBreakdown
 
@@ -138,7 +139,12 @@ def srs_factor(
             factor_level(fact, store, kernel, tree, level, opts)
             if level > 1:
                 with trace.span("factor.transition", level=level):
-                    active, seed_blocks = transition_to_parent(store, tree, level)
+                    active, seed_blocks = transition_to_parent(
+                        store,
+                        tree,
+                        level,
+                        batched=opts.resolved_factor_mode() == "batched",
+                    )
             else:
                 remaining = sum(v.size for v in store.active.values())
                 if remaining:  # pragma: no cover - indicates an algorithmic bug
@@ -165,13 +171,28 @@ def factor_level(
 
     ``task_times`` (when a list) collects ``(level, box, seconds)`` per
     skeletonization — the shared-memory comparator schedules these
-    measured task durations onto simulated threads (Table VI).
+    measured task durations onto simulated threads (Table VI). Collecting
+    them requires the per-box strict sweep, so a ``task_times`` list
+    forces strict even when ``opts`` resolves to batched.
     """
-    import time as _time
+    todo = boxes if boxes is not None else tree.boxes(level)
+    if task_times is None and opts.resolved_factor_mode() == "batched":
+        with fact.timings.measure(f"level_{level}"), trace.span(
+            "factor.level", level=level, boxes=len(todo)
+        ) as lspan:
+            results = skeletonize_level_batched(
+                store, kernel, tree, level, todo, opts
+            )
+            for size_before, rec in results:
+                fact.stats.record(level, size_before, rec.rank)
+                fact.records.append(rec)
+            lspan.set(factored=len(results))
+        if results:
+            _BOXES_FACTORED.inc(len(results), level=str(level))
+        return
 
     has_far_field = tree.nside(level) >= 4
     side = tree.box_side(level)
-    todo = boxes if boxes is not None else tree.boxes(level)
     factored = 0
     with fact.timings.measure(f"level_{level}"), trace.span(
         "factor.level", level=level, boxes=len(todo)
@@ -187,12 +208,12 @@ def factor_level(
                 else None
             )
             size_before = store.nactive(box)
-            t0 = _time.perf_counter()
-            rec = skeletonize_box(
-                store, kernel, box, nbrs, m_boxes, proxy, opts, level=level
-            )
+            with stopwatch() as sw:
+                rec = skeletonize_box(
+                    store, kernel, box, nbrs, m_boxes, proxy, opts, level=level
+                )
             if task_times is not None:
-                task_times.append((level, box, _time.perf_counter() - t0))
+                task_times.append((level, box, sw.elapsed))
             if rec is None:
                 continue
             factored += 1
@@ -204,7 +225,7 @@ def factor_level(
 
 
 def transition_to_parent(
-    store: InteractionStore, tree: QuadTree, level: int
+    store: InteractionStore, tree: QuadTree, level: int, *, batched: bool = False
 ) -> tuple[dict[Coord, np.ndarray], dict[PairKey, np.ndarray]]:
     """Regroup skeletons under parents and reassemble near-field blocks.
 
@@ -213,6 +234,11 @@ def transition_to_parent(
     <= 1); distance-2 parent pairs assemble from child pairs at
     distance >= 3, which Theorem 2 guarantees are pure kernel — they
     are left to lazy kernel evaluation at the parent level.
+
+    ``batched`` evaluates the unmodified child pairs through the stacked
+    kernel API (:func:`repro.core.batch.batch_pair_blocks`) instead of
+    one scalar ``store.get`` at a time; strict mode keeps the scalar
+    path so its assembly stays bitwise-reproducible.
     """
     parent_level = level - 1
     parent_children: dict[Coord, list[Coord]] = {}
@@ -230,7 +256,7 @@ def transition_to_parent(
         parent_children[parent] = ordered
         parent_active[parent] = np.concatenate([store.active_of(c) for c in ordered])
 
-    new_blocks: dict[PairKey, np.ndarray] = {}
+    pair_lists: list[tuple[PairKey, list[Coord], list[Coord]]] = []
     nside = 1 << parent_level
     for p1, c1s in parent_children.items():
         for dx in (-1, 0, 1):
@@ -241,6 +267,19 @@ def transition_to_parent(
                 c2s = parent_children.get(p2)
                 if not c2s:
                     continue
-                rows = [np.hstack([store.get(c1, c2) for c2 in c2s]) for c1 in c1s]
-                new_blocks[(p1, p2)] = np.vstack(rows)
+                pair_lists.append(((p1, p2), c1s, c2s))
+
+    blocks: dict[PairKey, np.ndarray] | None = None
+    if batched:
+        blocks = batch_pair_blocks(
+            store,
+            [(c1, c2) for _, c1s, c2s in pair_lists for c1 in c1s for c2 in c2s],
+        )
+    new_blocks: dict[PairKey, np.ndarray] = {}
+    for (p1, p2), c1s, c2s in pair_lists:
+        if blocks is None:
+            rows = [np.hstack([store.get(c1, c2) for c2 in c2s]) for c1 in c1s]
+        else:
+            rows = [np.hstack([blocks[c1, c2] for c2 in c2s]) for c1 in c1s]
+        new_blocks[(p1, p2)] = np.vstack(rows)
     return parent_active, new_blocks

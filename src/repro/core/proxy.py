@@ -37,6 +37,28 @@ def proxy_circle(center: np.ndarray, radius: float, n_points: int) -> np.ndarray
     )
 
 
+def proxy_circle_stack(
+    centers: np.ndarray, radius: float, n_points: int
+) -> np.ndarray:
+    """Stacked proxy circles: ``(nbox, n_points, 2)`` for ``(nbox, 2)`` centers.
+
+    At a given level every box shares one radius and point count, so the
+    batched sweep builds all circles in one broadcast instead of looping
+    :func:`proxy_circle` per box. Row ``i`` is bitwise-identical to
+    ``proxy_circle(centers[i], radius, n_points)``.
+    """
+    if radius <= 0:
+        raise ValueError(f"proxy radius must be positive, got {radius}")
+    if n_points <= 0:
+        raise ValueError(f"n_points must be positive, got {n_points}")
+    centers = np.atleast_2d(np.asarray(centers, dtype=float))
+    theta = np.linspace(0.0, 2.0 * np.pi, n_points, endpoint=False)
+    out = np.empty((centers.shape[0], n_points, 2))
+    out[:, :, 0] = centers[:, 0:1] + radius * np.cos(theta)[None, :]
+    out[:, :, 1] = centers[:, 1:2] + radius * np.sin(theta)[None, :]
+    return out
+
+
 def proxy_points_for_box(
     kernel: KernelMatrix, center: np.ndarray, box_side: float, opts: SRSOptions
 ) -> np.ndarray:

@@ -16,7 +16,7 @@ One call to :func:`skeletonize_box`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -62,16 +62,24 @@ class BoxRecord:
     #: (box, start, end) segments of ``cluster`` — first the skeleton of
     #: this box, then each neighbor's active slice. The distributed
     #: solve uses this to route updates to the owning rank.
-    cluster_segments: list = None  # type: ignore[assignment]
+    cluster_segments: list[tuple[Coord, int, int]] = field(default_factory=list)
 
     @property
     def rank(self) -> int:
         return self.skeleton.size
 
     def memory_bytes(self) -> int:
+        """Bytes of everything this record keeps alive for the solve phase.
+
+        Counts the dense solve blocks, the LU factors (via the public
+        :meth:`~repro.linalg.lu.PartialLU.memory_bytes`), *and* the
+        index arrays — cache byte budgets and the store's accounting
+        depend on this being the full footprint.
+        """
         total = self.T.nbytes + self.x_cr.nbytes + self.x_rc.nbytes
-        total += getattr(self.lu, "_lu", np.empty(0)).nbytes
-        return total
+        total += self.lu.memory_bytes()
+        total += self.redundant.nbytes + self.skeleton.nbytes + self.cluster.nbytes
+        return int(total)
 
     # ------------------------------------------------------------------
     # solve-phase operators (Sec. II-F); operate in place on the global
@@ -172,17 +180,17 @@ def skeletonize_box(
     # -- 1. compression ------------------------------------------------
     with trace.span("factor.skeletonize", level=level, box=str(box), size=int(bidx.size)):
         with trace.span("factor.id", rows=int(bidx.size)):
-            stacked = _compression_matrix(store, kernel, box, m_boxes, proxy_points)
+            stacked = compression_matrix(store, kernel, box, m_boxes, proxy_points)
             dec = interp_decomp(stacked, opts.tol, method=opts.id_method)
         _ID_COMPRESSIONS.inc()
         _SKELETON_RANK.observe(dec.skeleton.size)
-        return _eliminate_box(
+        return eliminate_box(
             store, box, bidx, nbrs, dec, stacked.dtype, opts,
             level=level, update_log=update_log,
         )
 
 
-def _eliminate_box(
+def eliminate_box(
     store: InteractionStore,
     box: Coord,
     bidx: np.ndarray,
@@ -275,7 +283,7 @@ def _eliminate_box(
     return record
 
 
-def _compression_matrix(
+def compression_matrix(
     store: InteractionStore,
     kernel: KernelMatrix,
     box: Coord,

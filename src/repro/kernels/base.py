@@ -60,6 +60,39 @@ class KernelMatrix(ABC):
         """True when ``g(x, y)`` depends only on ``x - y`` (enables FFT matvec)."""
         return True
 
+    #: True when :meth:`greens` accepts stacked ``(nb, m, 2)`` inputs and
+    #: broadcasts to ``(nb, m, k)`` — the isotropic radial kernels built
+    #: on :func:`pairwise_distances` set this so the multi-box block API
+    #: below evaluates a whole same-shape group in one ufunc sweep.
+    #: Kernels with per-pair logic (layer potentials with local
+    #: quadrature corrections) leave it False and take the per-box loop.
+    greens_vectorized: bool = False
+
+    #: True when ``A == A^H`` exactly: ``g`` real and symmetric with
+    #: uniform real row/column weights (Laplace, Gaussian, Yukawa). The
+    #: batched sweep then assembles only ``A[M, B]`` in the compression
+    #: matrix — ``A[B, M]^*`` duplicates it row for row, so dropping it
+    #: halves both the far-field evaluation and the CPQR row count
+    #: without changing the constraint set of the ID — and fills each
+    #: near pair once, storing the transpose for the reverse direction.
+    #: Complex-symmetric kernels (Helmholtz: ``A == A^T != A^H``) must
+    #: leave this False.
+    hermitian: bool = False
+
+    def greens_stack(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Green's function over stacked ``(nb, m, 2)`` point sets.
+
+        Defaults to :meth:`greens` (which broadcasts when
+        ``greens_vectorized`` is set). Radial kernels whose ``g`` has a
+        closed form in the *squared* distance override this to skip the
+        square-root pass over the whole ``(nb, m, k)`` stack; such
+        overrides may differ from :meth:`greens` in the last float ulp
+        (e.g. ``log(sqrt(s))`` vs ``log(s)/2``), which is why only the
+        batched sweep uses this entry point — the strict per-box path
+        always goes through :meth:`greens`.
+        """
+        return self.greens(x, y)
+
     def check_tree_resolution(self, tree) -> None:
         """Validate a quadtree against this kernel's locality assumptions.
 
@@ -128,6 +161,80 @@ class KernelMatrix(ABC):
         g = self.greens(self.points[rows], proxy_points)
         return (self.row_weights(rows)[:, None] * g).astype(self.dtype, copy=False)
 
+    # ------------------------------------------------------------------
+    # multi-box (stacked) blocks — the level-batched factor sweep
+    # evaluates a whole group of same-shape blocks at once. All three
+    # methods take index/point stacks with a leading box axis ``nb`` and
+    # return ``(nb, rows, cols)``. The defaults loop over the per-box
+    # methods (and therefore respect any subclass overrides of
+    # ``block``/``proxy_*_block``); kernels with ``greens_vectorized``
+    # get a single broadcast kernel evaluation instead.
+    # ------------------------------------------------------------------
+    def block_stack(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Stacked submatrices ``A[rows[b]][:, cols[b]]`` for every box ``b``.
+
+        ``rows``/``cols`` are integer index stacks of shape ``(nb, r)``
+        and ``(nb, c)``.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        nb, r = rows.shape
+        c = cols.shape[1]
+        if nb == 0 or r == 0 or c == 0:
+            return np.zeros((nb, r, c), dtype=self.dtype)
+        if not self.greens_vectorized:
+            out = np.empty((nb, r, c), dtype=self.dtype)
+            for b in range(nb):
+                out[b, :, :] = self.block(rows[b], cols[b])
+            return out
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g = self.greens_stack(self.points[rows], self.points[cols])
+        rw = self.row_weights(rows.reshape(-1)).reshape(nb, r, 1)
+        cw = self.col_weights(cols.reshape(-1)).reshape(nb, 1, c)
+        blk = (rw * g * cw).astype(self.dtype, copy=False)
+        same = rows[:, :, None] == cols[:, None, :]
+        if same.any():
+            d = self.diagonal()
+            bb, ii, jj = np.nonzero(same)
+            blk[bb, ii, jj] = d[rows[bb, ii]]
+        return blk
+
+    def proxy_row_block_stack(
+        self, proxy_points: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """Stacked :meth:`proxy_row_block`: ``(nb, p, 2)`` x ``(nb, c)``."""
+        cols = np.asarray(cols, dtype=np.int64)
+        nb, p = proxy_points.shape[0], proxy_points.shape[1]
+        c = cols.shape[1]
+        if nb == 0 or p == 0 or c == 0:
+            return np.zeros((nb, p, c), dtype=self.dtype)
+        if not self.greens_vectorized:
+            out = np.empty((nb, p, c), dtype=self.dtype)
+            for b in range(nb):
+                out[b, :, :] = self.proxy_row_block(proxy_points[b], cols[b])
+            return out
+        g = self.greens_stack(proxy_points, self.points[cols])
+        cw = self.col_weights(cols.reshape(-1)).reshape(nb, 1, c)
+        return (g * cw).astype(self.dtype, copy=False)
+
+    def proxy_col_block_stack(
+        self, rows: np.ndarray, proxy_points: np.ndarray
+    ) -> np.ndarray:
+        """Stacked :meth:`proxy_col_block`: ``(nb, r)`` x ``(nb, p, 2)``."""
+        rows = np.asarray(rows, dtype=np.int64)
+        nb, p = proxy_points.shape[0], proxy_points.shape[1]
+        r = rows.shape[1]
+        if nb == 0 or p == 0 or r == 0:
+            return np.zeros((nb, r, p), dtype=self.dtype)
+        if not self.greens_vectorized:
+            out = np.empty((nb, r, p), dtype=self.dtype)
+            for b in range(nb):
+                out[b, :, :] = self.proxy_col_block(rows[b], proxy_points[b])
+            return out
+        g = self.greens_stack(self.points[rows], proxy_points)
+        rw = self.row_weights(rows.reshape(-1)).reshape(nb, r, 1)
+        return (rw * g).astype(self.dtype, copy=False)
+
 
 def dense_matrix(kernel: KernelMatrix) -> np.ndarray:
     """Assemble the full ``N x N`` matrix (testing / small problems only)."""
@@ -136,7 +243,23 @@ def dense_matrix(kernel: KernelMatrix) -> np.ndarray:
 
 
 def pairwise_distances(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """Euclidean distance matrix between two planar point sets."""
-    dx = x[:, 0][:, None] - y[:, 0][None, :]
-    dy = x[:, 1][:, None] - y[:, 1][None, :]
+    """Euclidean distance matrix between two planar point sets.
+
+    Accepts plain ``(m, 2)`` x ``(k, 2)`` sets (returns ``(m, k)``) or
+    stacked ``(nb, m, 2)`` x ``(nb, k, 2)`` sets (returns
+    ``(nb, m, k)``) — the broadcast form the multi-box block API feeds
+    to vectorized kernels.
+    """
+    dx = x[..., :, None, 0] - y[..., None, :, 0]
+    dy = x[..., :, None, 1] - y[..., None, :, 1]
     return np.hypot(dx, dy)
+
+
+def squared_distances(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance matrix; broadcasts like
+    :func:`pairwise_distances` but without the square root (or
+    ``hypot``'s overflow guards) — the cheap input for ``greens_stack``
+    overrides of kernels radial in ``r^2``."""
+    dx = x[..., :, None, 0] - y[..., None, :, 0]
+    dy = x[..., :, None, 1] - y[..., None, :, 1]
+    return dx * dx + dy * dy

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.base import KernelMatrix, pairwise_distances
+from repro.kernels.base import KernelMatrix, pairwise_distances, squared_distances
 
 
 class GaussianKernelMatrix(KernelMatrix):
     """``A = shift * I + h^2 * exp(-r^2 / (2 sigma^2))`` on any planar cloud."""
+
+    greens_vectorized = True
+    hermitian = True  # real symmetric: rw = 1, cw = h^2, g radial
 
     def __init__(self, points: np.ndarray, h: float, *, sigma: float = 0.1, shift: float = 1.0):
         points = np.atleast_2d(np.asarray(points, dtype=float))
@@ -30,6 +33,10 @@ class GaussianKernelMatrix(KernelMatrix):
     def greens(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         r = pairwise_distances(np.atleast_2d(x), np.atleast_2d(y))
         return np.exp(-(r**2) / (2.0 * self.sigma**2))
+
+    def greens_stack(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # g is radial in r^2 already: skip the sqrt/re-square round trip
+        return np.exp(-squared_distances(x, y) / (2.0 * self.sigma**2))
 
     def col_weights(self, index: np.ndarray) -> np.ndarray:
         return np.full(len(index), self.h * self.h, dtype=self.dtype)

@@ -78,6 +78,8 @@ class HelmholtzKernelMatrix(KernelMatrix):
         to all-ones (constant-coefficient Helmholtz).
     """
 
+    greens_vectorized = True
+
     def __init__(
         self,
         points: np.ndarray,

@@ -25,6 +25,9 @@ from repro.kernels.selfquad import square_self_integral
 class YukawaKernelMatrix(KernelMatrix):
     """Second-kind volume IE matrix ``A = I + h^2 G_lambda`` on a uniform grid."""
 
+    greens_vectorized = True
+    hermitian = True  # real symmetric: rw = 1, cw = h^2, K0 radial
+
     def __init__(self, points: np.ndarray, h: float, lam: float, *, identity_shift: float = 1.0):
         points = np.atleast_2d(np.asarray(points, dtype=float))
         if h <= 0 or lam <= 0:

@@ -32,6 +32,10 @@ class PartialLU:
             self._lu = np.zeros((0, 0), dtype=x_rr.dtype)
             self._piv = np.zeros(0, dtype=np.int32)
 
+    def memory_bytes(self) -> int:
+        """Bytes held by the stored factors (``_lu`` and ``_piv``)."""
+        return int(self._lu.nbytes + self._piv.nbytes)
+
     # -- full solves ----------------------------------------------------
     def solve_left(self, b: np.ndarray) -> np.ndarray:
         """``X_RR^{-1} @ b``."""

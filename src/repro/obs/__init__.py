@@ -39,7 +39,7 @@ from repro.obs.metrics import (
     parse_prometheus,
     render_prometheus,
 )
-from repro.obs.tracer import Span, Tracer, chrome_trace, trace
+from repro.obs.tracer import Span, Stopwatch, Tracer, chrome_trace, stopwatch, trace
 from repro.obs.logs import enable_stderr_logs, log_event
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "Span",
+    "Stopwatch",
     "Tracer",
     "WatchedLock",
     "chrome_trace",
@@ -62,5 +63,6 @@ __all__ = [
     "parse_prometheus",
     "render_prometheus",
     "reset_lock_watch",
+    "stopwatch",
     "trace",
 ]

@@ -290,6 +290,34 @@ class _TrackCtx:
         return False
 
 
+class Stopwatch:
+    """Monotonic duration of a ``with`` block, in seconds.
+
+    The observability layer's answer to ad-hoc ``perf_counter`` pairs
+    in hot loops: callers that need a measured duration as *data* (the
+    shared-memory comparator's per-task times, batch occupancy attrs)
+    wrap the work in ``with stopwatch() as sw`` and read ``sw.elapsed``
+    afterwards. Uses ``time.perf_counter`` — never the wall clock — so
+    the parity packages stay free of wall-clock reads.
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __enter__(self) -> "Stopwatch":
+        self.elapsed = 0.0
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = time.perf_counter() - self.start
+        return False
+
+
+def stopwatch() -> Stopwatch:
+    """A fresh :class:`Stopwatch` context manager."""
+    return Stopwatch()
+
+
 def _autosave() -> None:  # pragma: no cover - exercised via subprocess in CI
     path = obs_trace_path()
     if path is None or not trace.enabled:

@@ -85,6 +85,11 @@ class LocalKernel:
         return getattr(self.inner, "kappa", None)
 
     @property
+    def hermitian(self) -> bool:
+        """Whether the underlying kernel matrix is exactly Hermitian."""
+        return self.inner.hermitian
+
+    @property
     def n_known(self) -> int:
         return self._ids.size
 
@@ -120,3 +125,18 @@ class LocalKernel:
 
     def proxy_col_block(self, rows: np.ndarray, proxy_points: np.ndarray) -> np.ndarray:
         return self.inner.proxy_col_block(self._local(rows), proxy_points)
+
+    # -- stacked (multi-box) blocks: ``_local`` is shape-preserving, so
+    # -- ``(nb, k)`` global index stacks translate elementwise ----------
+    def block_stack(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self.inner.block_stack(self._local(rows), self._local(cols))
+
+    def proxy_row_block_stack(
+        self, proxy_points: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        return self.inner.proxy_row_block_stack(proxy_points, self._local(cols))
+
+    def proxy_col_block_stack(
+        self, rows: np.ndarray, proxy_points: np.ndarray
+    ) -> np.ndarray:
+        return self.inner.proxy_col_block_stack(self._local(rows), proxy_points)

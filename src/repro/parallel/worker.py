@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batch import skeletonize_level_batched
 from repro.core.interactions import Coord, InteractionStore, PairKey
 from repro.core.options import SRSOptions
 from repro.core.proxy import proxy_points_for_box
@@ -319,6 +320,15 @@ def _factor_boxes(
     opts: SRSOptions,
     update_log: list,
 ) -> None:
+    if opts.resolved_factor_mode() == "batched":
+        # same elimination order and update-log stream as the loop below;
+        # only assembly + ID are level-batched (phase boxes = one batch)
+        for size_before, rec in skeletonize_level_batched(
+            store, local, geometry, level, boxes, opts, update_log=update_log
+        ):
+            stats.record(level, size_before, rec.rank)
+            records.append(rec)
+        return
     has_far_field = geometry.nside(level) >= 4
     side = geometry.box_side(level)
     for box in boxes:

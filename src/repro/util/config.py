@@ -201,6 +201,34 @@ def service_batch_mode() -> str:
     return name
 
 
+#: factor sweep modes of the RS-S engine (see repro.core.batch)
+FACTOR_MODES = ("strict", "batched")
+
+
+def factor_mode() -> str:
+    """Default factor-sweep mode of the RS-S engine (``REPRO_FACTOR_MODE``).
+
+    Resolves ``SRSOptions.factor_mode="auto"``:
+
+    * ``strict`` (default) — the per-box sweep: every compression
+      matrix is assembled against the *current* store state, bitwise
+      identical to the historical path.
+    * ``batched`` — the level-batched sweep: same-level compression
+      matrices are assembled in stacked groups from the level-start
+      state and run through grouped CPQR IDs. Skeleton selection may
+      differ within the ID tolerance; elimination order is unchanged.
+    """
+    raw = os.environ.get("REPRO_FACTOR_MODE")
+    if raw is None or raw.strip() == "":
+        return "strict"
+    name = raw.strip().lower()
+    if name not in FACTOR_MODES:
+        raise ValueError(
+            f"REPRO_FACTOR_MODE={raw!r} is not one of {'/'.join(FACTOR_MODES)}"
+        )
+    return name
+
+
 def service_workers() -> int:
     """Solver threads of a :class:`~repro.service.SolveService`
     (``REPRO_SERVICE_WORKERS``, default 8). Requests beyond this

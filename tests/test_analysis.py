@@ -259,6 +259,21 @@ def test_determinism_scoped_to_numerics(tmp_path):
     assert result.clean  # util is not a bitwise-parity package
 
 
+def test_determinism_local_time_import(tmp_path):
+    bad = """\
+        def factor_level(tree, level):
+            import time as _time
+            t0 = _time.perf_counter()
+            return t0
+    """
+    result = run(tmp_path, {"src/repro/core/sweep.py": bad}, ["determinism"])
+    got = {(f.symbol, f.line) for f in result.findings}
+    assert ("local-time-import", 2) in got
+    assert len(result.findings) == 1
+    # the module-level `import time` in DETERMINISM_BAD stays un-flagged
+    # (test_determinism_bad pins the exact finding count)
+
+
 # ----------------------------------------------------------------------
 # lock-discipline
 # ----------------------------------------------------------------------
@@ -416,6 +431,25 @@ def test_obs_conventions_bad(tmp_path):
     assert "span:Factor.Level" in symbols            # span grammar violation
     assert "dynamic-span" in symbols                 # non-literal span name
     assert len(result.findings) == 5
+
+
+def test_obs_conventions_span_attrs(tmp_path):
+    bad = """\
+        from repro.obs import trace
+
+        def f(attrs):
+            with trace.span("factor.batch", **attrs):
+                pass
+            with trace.span("factor.batch", BadName=1):
+                pass
+            with trace.span("factor.batch", level=2, n_boxes=3):
+                pass
+    """
+    result = run(tmp_path, {"src/repro/obs/attrs.py": bad}, ["obs-conventions"])
+    got = {(f.symbol, f.line) for f in result.findings}
+    assert ("span-attrs:factor.batch", 4) in got       # **-unpacking
+    assert ("span-attr:factor.batch.BadName", 6) in got  # attr name grammar
+    assert len(result.findings) == 2  # well-named kwargs stay clean
 
 
 def test_obs_conventions_conflict(tmp_path):

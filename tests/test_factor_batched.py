@@ -1,0 +1,307 @@
+"""Batched-vs-strict factor sweep parity (repro.core.batch).
+
+The contract under test (INVARIANTS.md, "factor-batching"): batching
+reorders assembly and compression, never elimination. ``strict`` stays
+bitwise-reproducible; ``batched`` agrees to the ID tolerance on every
+kernel family and execution backend, including the Hermitian fast path
+(Laplace/Gaussian) and the two-sided complex path (Helmholtz).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bie import InteriorDirichletProblem, StarCurve, harmonic_exponential
+from repro.core import SRSOptions, srs_factor
+from repro.core.proxy import proxy_circle, proxy_circle_stack
+from repro.core.skel import BoxRecord
+from repro.geometry import uniform_grid
+from repro.kernels import (
+    GaussianKernelMatrix,
+    HelmholtzKernelMatrix,
+    LaplaceKernelMatrix,
+    dense_matrix,
+)
+from repro.kernels.helmholtz import gaussian_bump
+from repro.parallel import parallel_srs_factor
+from repro.tree import QuadTree
+
+
+def relres(a, x, b):
+    return np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+
+
+def factor_pair(kernel, **kw):
+    strict = srs_factor(kernel, opts=SRSOptions(factor_mode="strict", **kw))
+    batched = srs_factor(kernel, opts=SRSOptions(factor_mode="batched", **kw))
+    return strict, batched
+
+
+# ----------------------------------------------------------------------
+# parity: batched solves match strict to the ID tolerance
+# ----------------------------------------------------------------------
+def test_laplace_parity(laplace32, laplace32_dense, rng):
+    strict, batched = factor_pair(laplace32, tol=1e-9, leaf_size=32)
+    b = rng.standard_normal(laplace32.n)
+    r_s = relres(laplace32_dense, strict.solve(b), b)
+    r_b = relres(laplace32_dense, batched.solve(b), b)
+    assert r_b < 10 * r_s + 1e-12
+    assert batched.eliminated_count() == laplace32.n
+
+
+def test_gaussian_parity_machine_precision(gaussian16, gaussian16_dense, rng):
+    strict, batched = factor_pair(gaussian16, tol=1e-12, leaf_size=16)
+    b = rng.standard_normal(gaussian16.n)
+    assert relres(gaussian16_dense, batched.solve(b), b) < 1e-12
+
+
+def test_helmholtz_parity_complex_two_sided(helmholtz24, helmholtz24_dense, rng):
+    # complex symmetric but NOT Hermitian: exercises the two-sided
+    # assembly (A[M,B] and A[B,M]^* both evaluated)
+    assert not helmholtz24.hermitian
+    strict, batched = factor_pair(helmholtz24, tol=1e-8, leaf_size=24)
+    b = rng.standard_normal(helmholtz24.n) + 1j * rng.standard_normal(helmholtz24.n)
+    r_s = relres(helmholtz24_dense, strict.solve(b), b)
+    r_b = relres(helmholtz24_dense, batched.solve(b), b)
+    assert r_b < 10 * r_s + 1e-12
+
+
+def test_bie_parity_scalar_fallback():
+    # BIE kernels are not greens_vectorized: the batched sweep must
+    # fall back to per-box evaluation inside the stacked API
+    prob = InteriorDirichletProblem(StarCurve(1.0, 0.3, 5), 512)
+    fact = prob.factor(SRSOptions(tol=1e-10, factor_mode="batched"))
+    assert fact.eliminated_count() == 512
+    assert prob.solve_error(harmonic_exponential, fact) <= 1e-8
+
+
+def test_ranks_close_to_strict(laplace32):
+    strict, batched = factor_pair(laplace32, tol=1e-9, leaf_size=32)
+    total_s = sum(rec.rank for rec in strict.records)
+    total_b = sum(rec.rank for rec in batched.records)
+    # same operators compressed at the same tolerance: skeleton totals
+    # may differ within the tolerance, not structurally
+    assert abs(total_s - total_b) <= 0.05 * total_s + 8
+
+
+# ----------------------------------------------------------------------
+# strict reproducibility and mode resolution
+# ----------------------------------------------------------------------
+def _record_state(fact):
+    return [
+        (
+            rec.box,
+            rec.level,
+            rec.redundant.tobytes(),
+            rec.skeleton.tobytes(),
+            rec.T.tobytes(),
+            rec.x_cr.tobytes(),
+            rec.x_rc.tobytes(),
+        )
+        for rec in fact.records
+    ]
+
+
+def test_strict_bitwise_reproducible(gaussian16):
+    opts = SRSOptions(tol=1e-8, leaf_size=16, factor_mode="strict")
+    a = srs_factor(gaussian16, opts=opts)
+    b = srs_factor(gaussian16, opts=opts)
+    assert _record_state(a) == _record_state(b)
+
+
+def test_auto_defaults_to_strict_bitwise(gaussian16, monkeypatch):
+    monkeypatch.delenv("REPRO_FACTOR_MODE", raising=False)
+    auto = srs_factor(gaussian16, opts=SRSOptions(tol=1e-8, leaf_size=16))
+    strict = srs_factor(
+        gaussian16, opts=SRSOptions(tol=1e-8, leaf_size=16, factor_mode="strict")
+    )
+    assert _record_state(auto) == _record_state(strict)
+
+
+def test_batched_deterministic(gaussian16):
+    opts = SRSOptions(tol=1e-8, leaf_size=16, factor_mode="batched")
+    a = srs_factor(gaussian16, opts=opts)
+    b = srs_factor(gaussian16, opts=opts)
+    assert _record_state(a) == _record_state(b)
+
+
+def test_env_knob_resolves_auto(monkeypatch):
+    opts = SRSOptions()
+    monkeypatch.delenv("REPRO_FACTOR_MODE", raising=False)
+    assert opts.resolved_factor_mode() == "strict"
+    monkeypatch.setenv("REPRO_FACTOR_MODE", "batched")
+    assert opts.resolved_factor_mode() == "batched"
+    # explicit settings win over the environment
+    assert SRSOptions(factor_mode="strict").resolved_factor_mode() == "strict"
+    monkeypatch.setenv("REPRO_FACTOR_MODE", "sideways")
+    with pytest.raises(ValueError, match="REPRO_FACTOR_MODE"):
+        opts.resolved_factor_mode()
+
+
+def test_unknown_factor_mode_rejected():
+    with pytest.raises(ValueError, match="factor_mode"):
+        SRSOptions(factor_mode="sideways")
+
+
+def test_solveconfig_factor_mode_shorthand():
+    from repro.api.config import SolveConfig
+
+    cfg = SolveConfig(factor_mode="batched")
+    assert cfg.srs.factor_mode == "batched"
+    assert SolveConfig().srs.factor_mode == "auto"
+    with pytest.raises(ValueError, match="factor_mode"):
+        SolveConfig(factor_mode="sideways")
+
+
+def test_setup_key_incorporates_resolved_mode(monkeypatch):
+    from repro.api.config import SolveConfig
+    from repro.api.strategies import _srs_setup_key
+
+    cfg = SolveConfig()  # srs.factor_mode == "auto"
+    monkeypatch.delenv("REPRO_FACTOR_MODE", raising=False)
+    key_strict = _srs_setup_key(cfg)
+    monkeypatch.setenv("REPRO_FACTOR_MODE", "batched")
+    key_batched = _srs_setup_key(cfg)
+    assert key_strict != key_batched
+
+
+# ----------------------------------------------------------------------
+# execution-backend matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("mode", ["strict", "batched"])
+def test_parallel_backend_mode_matrix(backend, mode, gaussian16, rng):
+    opts = SRSOptions(tol=1e-10, leaf_size=16, factor_mode=mode)
+    fact = parallel_srs_factor(gaussian16, 4, opts=opts, backend=backend)
+    a = dense_matrix(gaussian16)
+    b = rng.standard_normal(gaussian16.n)
+    assert relres(a, fact.solve(b), b) < 1e-10
+
+
+def test_parallel_batched_matches_sequential_quality(laplace32, laplace32_dense, rng):
+    opts = SRSOptions(tol=1e-9, leaf_size=32, factor_mode="batched")
+    seq = srs_factor(laplace32, opts=opts)
+    par = parallel_srs_factor(laplace32, 4, opts=opts, backend="thread")
+    b = rng.standard_normal(laplace32.n)
+    r_seq = relres(laplace32_dense, seq.solve(b), b)
+    r_par = relres(laplace32_dense, par.solve(b), b)
+    assert r_par < 10 * r_seq + 1e-12
+
+
+# ----------------------------------------------------------------------
+# edge cases
+# ----------------------------------------------------------------------
+def test_no_far_field_level(rng):
+    # nlevels=1: 2x2 leaves, nside < 4 everywhere — no proxy, no M(B)
+    m = 8
+    k = GaussianKernelMatrix(uniform_grid(m), 1.0 / m, sigma=0.05, shift=1.0)
+    tree = QuadTree(k.points, 1)
+    fact = srs_factor(k, tree=tree, opts=SRSOptions(tol=1e-10, factor_mode="batched"))
+    b = rng.standard_normal(k.n)
+    assert relres(dense_matrix(k), fact.solve(b), b) < 1e-10
+
+
+def test_nothing_redundant_at_tight_tolerance(rng):
+    # at tol ~ eps the ID keeps (nearly) every column: zero-redundant
+    # boxes must flow through the batched stages without special-casing
+    m = 8
+    k = LaplaceKernelMatrix(uniform_grid(m), 1.0 / m)
+    fact = srs_factor(k, opts=SRSOptions(tol=1e-16, leaf_size=16, factor_mode="batched"))
+    b = rng.standard_normal(k.n)
+    assert relres(dense_matrix(k), fact.solve(b), b) < 1e-11
+
+
+# ----------------------------------------------------------------------
+# stacked kernel API units
+# ----------------------------------------------------------------------
+def test_proxy_circle_stack_bitwise():
+    centers = np.array([[0.1, 0.2], [0.5, 0.5], [0.9, 0.1]])
+    stack = proxy_circle_stack(centers, 0.25, 17)
+    assert stack.shape == (3, 17, 2)
+    for i, c in enumerate(centers):
+        assert np.array_equal(stack[i], proxy_circle(c, 0.25, 17))
+
+
+def test_block_stack_matches_per_box(laplace32):
+    rng = np.random.default_rng(7)
+    rows = rng.integers(0, laplace32.n, size=(5, 12))
+    cols = rng.integers(0, laplace32.n, size=(5, 9))
+    stack = laplace32.block_stack(rows, cols)
+    for i in range(5):
+        ref = laplace32.block(rows[i], cols[i])
+        # allclose, not bitwise: greens_stack may use the squared-
+        # distance closed form (log(r^2)/2 vs log(r))
+        assert np.allclose(stack[i], ref, rtol=1e-13, atol=0)
+
+
+def test_block_stack_fallback_is_bitwise(helmholtz24):
+    class Scalar(type(helmholtz24)):
+        greens_vectorized = False
+
+    scalar = Scalar(
+        helmholtz24.points, helmholtz24.h, helmholtz24.kappa, b=helmholtz24.b
+    )
+    rng = np.random.default_rng(11)
+    rows = rng.integers(0, scalar.n, size=(3, 8))
+    cols = rng.integers(0, scalar.n, size=(3, 8))
+    stack = scalar.block_stack(rows, cols)
+    for i in range(3):
+        assert np.array_equal(stack[i], scalar.block(rows[i], cols[i]))
+
+
+def test_proxy_block_stacks_match_per_box(laplace32):
+    rng = np.random.default_rng(3)
+    cols = rng.integers(0, laplace32.n, size=(4, 10))
+    proxy = np.stack(
+        [proxy_circle(np.array([0.3 + 0.1 * i, 0.4]), 0.2, 13) for i in range(4)]
+    )
+    row_stack = laplace32.proxy_row_block_stack(proxy, cols)
+    col_stack = laplace32.proxy_col_block_stack(cols, proxy)
+    for i in range(4):
+        assert np.allclose(
+            row_stack[i], laplace32.proxy_row_block(proxy[i], cols[i]),
+            rtol=1e-13, atol=0,
+        )
+        assert np.allclose(
+            col_stack[i], laplace32.proxy_col_block(cols[i], proxy[i]),
+            rtol=1e-13, atol=0,
+        )
+
+
+def test_hermitian_flags():
+    pts = uniform_grid(4)
+    assert LaplaceKernelMatrix(pts, 0.25).hermitian
+    assert GaussianKernelMatrix(pts, 0.25).hermitian
+    assert not HelmholtzKernelMatrix(pts, 0.25, 2.0, b=gaussian_bump(pts)).hermitian
+
+
+# ----------------------------------------------------------------------
+# satellites: record accounting and defaults
+# ----------------------------------------------------------------------
+def test_box_record_memory_bytes_counts_everything(gaussian16):
+    fact = srs_factor(gaussian16, opts=SRSOptions(tol=1e-8, leaf_size=16))
+    rec = next(r for r in fact.records if r.redundant.size)
+    expected = (
+        rec.T.nbytes
+        + rec.x_cr.nbytes
+        + rec.x_rc.nbytes
+        + rec.lu.memory_bytes()
+        + rec.redundant.nbytes
+        + rec.skeleton.nbytes
+        + rec.cluster.nbytes
+    )
+    assert rec.memory_bytes() == expected
+    assert rec.lu.memory_bytes() > 0
+
+
+def test_box_record_cluster_segments_default():
+    idx = np.arange(3)
+    blk = np.zeros((3, 3))
+
+    class _Lu:
+        pass
+
+    a = BoxRecord((0, 0), 1, idx, idx, idx, blk, _Lu(), blk, blk)
+    b = BoxRecord((0, 1), 1, idx, idx, idx, blk, _Lu(), blk, blk)
+    assert a.cluster_segments == []
+    a.cluster_segments.append(((0, 0), 0, 3))
+    assert b.cluster_segments == []  # default_factory: no shared state
