@@ -1,0 +1,111 @@
+"""Profiler overhead: wall-clock cost of sampling at increasing rates.
+
+The sampling profiler must be cheap enough to leave on during real
+solves — its entire cost is one background thread walking
+``sys._current_frames()`` at ``REPRO_OBS_PROFILE_HZ``. This bench
+times the same factor+solve with the profiler off and across a rate
+sweep (including the default rate), prints the overhead table, writes
+``BENCH_profiler_overhead.json`` at the repository root, and asserts
+the default rate stays under the acceptance bound.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+import repro
+from common import SCALE, save_table
+from repro.apps import LaplaceVolumeProblem
+from repro.obs import SamplingProfiler, trace
+from repro.obs.profiler import DEFAULT_HZ
+from repro.reporting import Table, format_seconds
+
+JSON_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_profiler_overhead.json"
+)
+
+M = {0: 32, 1: 64, 2: 128}[SCALE]
+REPEATS = {0: 3, 1: 5, 2: 5}[SCALE]
+RATES = (0.0, 25.0, DEFAULT_HZ, 250.0)
+#: acceptance bound on min-of-N overhead at the default sampling rate;
+#: generous because CI boxes are noisy and often single-core — the
+#: bench exists to catch the sampler becoming a CPU hog, which costs
+#: far more than this
+MAX_DEFAULT_OVERHEAD = 0.25
+
+
+def _timed_solve(prob, b, hz):
+    prof = SamplingProfiler()
+    if hz > 0:
+        assert prof.start(hz)
+    try:
+        t0 = time.perf_counter()
+        repro.solve(prob, b)
+        elapsed = time.perf_counter() - t0
+    finally:
+        prof.stop()
+    return elapsed, sum(prof.snapshot_table().values())
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    prob = LaplaceVolumeProblem(M)
+    b = prob.random_rhs(0)
+    was = trace.enabled
+    trace.enable()  # spans live so samples have something to attribute to
+    try:
+        repro.solve(prob, b)  # warm imports/caches out of the measurement
+        rows = []
+        for hz in RATES:
+            best, samples = min(
+                _timed_solve(prob, b, hz) for _ in range(REPEATS)
+            )
+            rows.append({"hz": hz, "t_best": best, "samples": samples})
+    finally:
+        trace.set_enabled(was)
+        trace.clear()
+    base = rows[0]["t_best"]
+    for row in rows:
+        row["overhead"] = row["t_best"] / base - 1.0
+
+    result = {"n": prob.n, "scale": SCALE, "repeats": REPEATS,
+              "default_hz": DEFAULT_HZ, "rows": rows}
+    with open(JSON_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+
+    table = Table(
+        f"Profiler overhead: factor+solve, N = {M}^2 (min of {REPEATS})",
+        ["rate (Hz)", "t_solve", "overhead", "samples"],
+    )
+    for row in rows:
+        table.add_row(
+            "off" if row["hz"] == 0 else f"{row['hz']:g}",
+            format_seconds(row["t_best"]),
+            f"{100 * row['overhead']:+.1f}%",
+            row["samples"],
+        )
+    save_table("profiler_overhead", table.render())
+    return rows
+
+
+def test_profiler_bench_generated(sweep, benchmark):
+    prob = LaplaceVolumeProblem(M)
+    b = prob.random_rhs(0)
+    benchmark.pedantic(
+        lambda: _timed_solve(prob, b, DEFAULT_HZ), rounds=1, iterations=1
+    )
+    assert os.path.exists(JSON_PATH)
+
+
+def test_default_rate_overhead_bounded(sweep):
+    (row,) = [r for r in sweep if r["hz"] == DEFAULT_HZ]
+    assert row["overhead"] <= MAX_DEFAULT_OVERHEAD, row
+
+
+def test_sampler_actually_sampled(sweep):
+    # faster rates collect at least as many samples, and the default
+    # rate sees the solve at all (it runs far longer than one period)
+    (row,) = [r for r in sweep if r["hz"] == DEFAULT_HZ]
+    assert row["samples"] > 0

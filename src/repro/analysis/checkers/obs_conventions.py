@@ -22,6 +22,20 @@ are uniform. Enforced:
 ``trace.track(...)`` names are worker-tag prefixes (``rank{r}``) and
 are exempt from the dotted grammar but must still be literal or a
 single f-string.
+
+Two further contracts:
+
+* **subsystem metric prefixes** — the obs subsystems own a metric
+  namespace each (:data:`MODULE_PREFIXES`): families declared in
+  ``repro.obs.health`` must start ``repro_health_``, the watchdog's
+  ``repro_watchdog_``, the profiler's ``repro_profile_`` — so a
+  family's name alone says which subsystem emits it.
+* **knob registry** — ``repro.obs.OBS_KNOBS`` is the authoritative
+  list of ``REPRO_OBS*`` environment knobs. Every knob listed there
+  must be read by an accessor in ``repro.util.config``, and every
+  ``REPRO_OBS*`` env-var literal in ``repro.util.config`` must appear
+  in ``OBS_KNOBS`` — an unregistered knob is invisible to docs and
+  deployment checklists.
 """
 
 from __future__ import annotations
@@ -46,6 +60,20 @@ ATTR_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 METRIC_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
 _RESERVED_SUFFIXES = ("_bucket", "_sum", "_count")
 _METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+#: obs subsystems that own a metric namespace (module -> family prefix)
+MODULE_PREFIXES = {
+    "repro.obs.health": "repro_health_",
+    "repro.obs.watchdog": "repro_watchdog_",
+    "repro.obs.profiler": "repro_profile_",
+}
+
+#: the module carrying the authoritative ``OBS_KNOBS`` tuple
+_KNOB_REGISTRY_MODULE = "repro.obs"
+#: the only module allowed to read environment variables
+_CONFIG_MODULE = "repro.util.config"
+#: an observability knob name: REPRO_OBS itself or any REPRO_OBS_* knob
+_OBS_KNOB_RE = re.compile(r"^REPRO_OBS(_[A-Z0-9_]+)?$")
 
 
 def _metric_call_kind(call: ast.Call) -> str | None:
@@ -87,7 +115,72 @@ class ObsConventionsChecker(Checker):
             for call in iter_calls(mod.tree):
                 findings.extend(self._check_span(mod, call))
                 findings.extend(self._check_metric(mod, call, families))
+        findings.extend(self._check_knob_registry(project))
         return findings
+
+    def _check_knob_registry(self, project: Project) -> Iterable[Finding]:
+        """``repro.obs.OBS_KNOBS`` and util.config agree on REPRO_OBS* knobs."""
+        registry_mod = config_mod = None
+        for mod in project.modules:
+            if mod.module == _KNOB_REGISTRY_MODULE:
+                registry_mod = mod
+            elif mod.module == _CONFIG_MODULE:
+                config_mod = mod
+        if registry_mod is None or config_mod is None:
+            return  # partial-tree run (e.g. a single-file invocation)
+
+        declared: dict[str, int] = {}
+        tuple_line = None
+        for node in ast.walk(registry_mod.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "OBS_KNOBS" not in targets:
+                continue
+            tuple_line = node.lineno
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                for el in node.value.elts:
+                    knob = literal_str(el)
+                    if knob is not None:
+                        declared[knob] = el.lineno
+        if tuple_line is None:
+            yield registry_mod.finding(
+                1, self.name,
+                "repro.obs must declare the OBS_KNOBS tuple — the "
+                "authoritative registry of REPRO_OBS* environment knobs",
+                "obs-knobs-missing",
+            )
+            return
+
+        read: dict[str, int] = {}
+        for node in ast.walk(config_mod.tree):
+            value = literal_str(node)
+            if value is not None and _OBS_KNOB_RE.match(value):
+                read.setdefault(value, node.lineno)
+
+        for knob, line in sorted(declared.items()):
+            if not _OBS_KNOB_RE.match(knob):
+                yield registry_mod.finding(
+                    line, self.name,
+                    f"OBS_KNOBS entry {knob!r} is not a REPRO_OBS* name",
+                    f"knob:{knob}",
+                )
+            elif knob not in read:
+                yield registry_mod.finding(
+                    line, self.name,
+                    f"OBS_KNOBS lists {knob!r} but no repro.util.config "
+                    "accessor reads it — stale registry entry",
+                    f"knob:{knob}",
+                )
+        for knob, line in sorted(read.items()):
+            if knob not in declared:
+                yield config_mod.finding(
+                    line, self.name,
+                    f"repro.util.config reads {knob!r} but repro.obs."
+                    "OBS_KNOBS does not list it — register the knob so "
+                    "docs and deployment checks can see it",
+                    f"knob:{knob}",
+                )
 
     def _check_span(self, mod: ParsedModule, call: ast.Call) -> Iterable[Finding]:
         func = dotted_name(call.func)
@@ -183,6 +276,14 @@ class ObsConventionsChecker(Checker):
                 f"metric family {name!r} ends in a Prometheus-reserved "
                 "suffix (_bucket/_sum/_count are synthesized per family)",
                 f"metric:{name}",
+            )
+        prefix = MODULE_PREFIXES.get(mod.module or "")
+        if prefix is not None and not name.startswith(prefix):
+            yield mod.finding(
+                call, self.name,
+                f"metric family {name!r} declared in {mod.module} must "
+                f"start with that subsystem's prefix {prefix!r}",
+                f"prefix:{name}",
             )
         labels = _labelnames(call)
         prior = families.get(name)

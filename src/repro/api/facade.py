@@ -28,7 +28,7 @@ from repro.api.config import SolveConfig
 from repro.api.problem import check_problem
 from repro.api.report import SolveReport
 from repro.api.strategies import resolve_execution, resolve_strategy
-from repro.obs import REGISTRY, trace
+from repro.obs import REGISTRY, health, solve_health, trace
 
 _SOLVES = REGISTRY.counter(
     "repro_solve_total",
@@ -148,8 +148,11 @@ def solve(
     _SOLVES.inc(method=config.method, execution=execution)
     if out.iterations:
         _ITERATIONS.inc(out.iterations, method=config.method)
+    if out.krylov is not None:
+        health.observe_krylov(config.method, out.krylov)
 
     return SolveReport(
+        health=solve_health(fact, out.krylov),
         x=out.x,
         method=config.method,
         execution=execution,

@@ -88,6 +88,11 @@ class SolveReport:
     #: ``{"name": ..., "seconds": ...}`` dicts covering the
     #: queue -> factor -> solve pipeline of this request
     spans: list | None = None
+    #: per-solve numerical summary (a
+    #: :class:`~repro.obs.health.HealthReport`): per-level skeleton
+    #: ranks/compression plus the Krylov refinement outcome; ``None``
+    #: when the factorization carries no rank stats and no Krylov ran
+    health: Any | None = None
     krylov: Any | None = field(default=None, repr=False)
     config: Any | None = field(default=None, repr=False)
     factorization: Any | None = field(default=None, repr=False)
@@ -152,6 +157,8 @@ class SolveReport:
                 {"name": str(s["name"]), "seconds": float(s["seconds"])}
                 for s in self.spans
             ]
+        if self.health is not None:
+            out["health"] = self.health.to_dict()
         if include_relres:
             out["relres"] = self.relres
         if self.krylov is not None:

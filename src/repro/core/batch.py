@@ -57,7 +57,7 @@ from repro.core.proxy import proxy_circle_stack, proxy_point_count
 from repro.core.skel import BoxRecord, eliminate_box
 from repro.kernels.base import KernelMatrix
 from repro.linalg.interpolative import interp_decomp_stack
-from repro.obs import COUNT_BUCKETS, REGISTRY, trace
+from repro.obs import COUNT_BUCKETS, REGISTRY, health, trace
 from repro.tree.quadtree import QuadTree
 
 _BATCH_OCCUPANCY = REGISTRY.histogram(
@@ -168,6 +168,9 @@ def skeletonize_level_batched(
             ):
                 _ID_COMPRESSIONS.inc()
                 _SKELETON_RANK.observe(plan.dec.skeleton.size)
+                health.record_box(
+                    level, int(plan.bidx.size), int(plan.dec.skeleton.size)
+                )
                 rec = eliminate_box(
                     store, plan.box, plan.bidx, nbrs, plan.dec, kernel.dtype,
                     opts, level=level, update_log=update_log,

@@ -25,7 +25,7 @@ from repro.core.options import SRSOptions
 from repro.kernels.base import KernelMatrix
 from repro.linalg.interpolative import interp_decomp
 from repro.linalg.lu import PartialLU
-from repro.obs import COUNT_BUCKETS, REGISTRY, trace
+from repro.obs import COUNT_BUCKETS, REGISTRY, health, trace
 
 _ID_COMPRESSIONS = REGISTRY.counter(
     "repro_id_compressions_total",
@@ -184,6 +184,7 @@ def skeletonize_box(
             dec = interp_decomp(stacked, opts.tol, method=opts.id_method)
         _ID_COMPRESSIONS.inc()
         _SKELETON_RANK.observe(dec.skeleton.size)
+        health.record_box(level, int(bidx.size), int(dec.skeleton.size))
         return eliminate_box(
             store, box, bidx, nbrs, dec, stacked.dtype, opts,
             level=level, update_log=update_log,

@@ -12,6 +12,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.iterative.stall import refinement_stalled
+
 Operator = Callable[[np.ndarray], np.ndarray]
 
 
@@ -25,6 +27,11 @@ class GMRESResult:
     @property
     def final_residual(self) -> float:
         return self.residual_history[-1] if self.residual_history else np.inf
+
+    @property
+    def stalled(self) -> bool:
+        """Unconverged with a plateaued residual (see ``refinement_stalled``)."""
+        return refinement_stalled(self.residual_history, self.converged)
 
 
 def gmres(

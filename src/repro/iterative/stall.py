@@ -1,0 +1,43 @@
+"""Refinement-stall detection over Krylov residual histories.
+
+A stalled refinement — the residual plateauing above tolerance — is the
+classic symptom of a factorization whose accuracy no longer matches the
+requested ``tol`` (too loose an ID tolerance, an indefinite shift, a
+lost digit in the preconditioner apply). The health telemetry surfaces
+it per solve instead of letting it hide inside a large iteration count.
+
+Pure function of the recorded history: no clocks, no randomness — safe
+for the determinism contract of the parity packages.
+"""
+
+from __future__ import annotations
+
+#: trailing iterations inspected for progress
+STALL_WINDOW = 10
+#: minimum factor the best residual must improve by across the window
+STALL_IMPROVEMENT = 0.99
+
+
+def refinement_stalled(
+    residual_history: list[float],
+    converged: bool,
+    *,
+    window: int = STALL_WINDOW,
+    improvement: float = STALL_IMPROVEMENT,
+) -> bool:
+    """Whether an unconverged solve stopped making progress.
+
+    True when the solve did not converge and the best residual over the
+    last ``window`` iterations failed to improve on the best residual
+    before that window by at least the ``improvement`` factor (i.e.
+    ``best_recent > improvement * best_before``). Histories shorter
+    than ``window + 1`` entries never count as stalled — there is no
+    "before" to compare against.
+    """
+    if converged:
+        return False
+    if len(residual_history) < window + 1:
+        return False
+    best_before = min(residual_history[:-window])
+    best_recent = min(residual_history[-window:])
+    return best_recent > improvement * best_before

@@ -13,6 +13,16 @@ Three surfaces over one instrumentation layer:
   ``GET /metrics`` in Prometheus text exposition format.
 * ``log_event`` — structured JSON request-log lines on the
   ``repro.requests`` logger.
+* ``profile`` — the process-wide sampling
+  :class:`~repro.obs.profiler.SamplingProfiler` (span-attributed
+  wall-clock samples at ``REPRO_OBS_PROFILE_HZ``, speedscope/folded
+  export).
+* ``health`` — the :class:`~repro.obs.health.HealthMonitor` of
+  numerical solver-health aggregates (skeleton ranks, compression
+  ratios, Krylov outcomes).
+* ``watchdog`` — the opt-in :class:`~repro.obs.watchdog.ResourceWatchdog`
+  publishing RSS, tracked /dev/shm bytes, pool liveness, and store
+  residency as gauges (``REPRO_OBS_WATCHDOG_MS``).
 
 Plus one guardrail: ``make_lock`` — the project's lock factory. Plain
 ``threading`` locks by default; under ``REPRO_OBS=on`` they become
@@ -41,8 +51,33 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracer import Span, Stopwatch, Tracer, chrome_trace, stopwatch, trace
 from repro.obs.logs import enable_stderr_logs, log_event
+from repro.obs.profiler import SamplingProfiler, profile
+from repro.obs.health import HealthMonitor, HealthReport, health, solve_health
+from repro.obs.watchdog import ResourceWatchdog, watchdog
+
+#: every ``REPRO_OBS_*`` knob the observability layer reads — the
+#: obs-conventions checker cross-checks this registry against the
+#: accessors in ``repro.util.config``, so an undeclared knob is a CI
+#: finding rather than a silently ignored environment variable.
+OBS_KNOBS = (
+    "REPRO_OBS",
+    "REPRO_OBS_TRACE_PATH",
+    "REPRO_OBS_PROFILE_HZ",
+    "REPRO_OBS_PROFILE_PATH",
+    "REPRO_OBS_MAX_SPANS",
+    "REPRO_OBS_WATCHDOG_MS",
+)
 
 __all__ = [
+    "HealthMonitor",
+    "HealthReport",
+    "OBS_KNOBS",
+    "ResourceWatchdog",
+    "SamplingProfiler",
+    "health",
+    "profile",
+    "solve_health",
+    "watchdog",
     "BYTES_BUCKETS",
     "COUNT_BUCKETS",
     "LATENCY_BUCKETS",

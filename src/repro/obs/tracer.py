@@ -27,11 +27,12 @@ import json
 import os
 import threading
 import time
+from collections import deque
 from typing import Any, Iterable
 
 from repro.obs.lockwatch import make_lock
 from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY
-from repro.util.config import obs_enabled, obs_trace_path
+from repro.util.config import obs_enabled, obs_max_spans, obs_trace_path
 
 
 class Span:
@@ -129,11 +130,22 @@ class Tracer:
     def __init__(self, enabled: bool | None = None):
         self._enabled = obs_enabled() if enabled is None else enabled
         self._lock = make_lock("obs.tracer")
-        self._spans: list[Span] = []
+        #: finished-span ring; at capacity, recording drops the oldest
+        self._spans: deque[Span] = deque(maxlen=obs_max_spans() or None)
         self._local = threading.local()
+        # Cross-thread mirrors of each thread's open-span stack and track
+        # label, keyed by thread id, for the sampling profiler. Written
+        # only via GIL-atomic dict item assignment, never under _lock —
+        # readers (active_spans) tolerate concurrent pushes/pops.
+        self._active: dict[int, list[Span]] = {}
+        self._tracks: dict[int, str | None] = {}
         self._span_hist = REGISTRY.histogram(
             "repro_span_seconds", "Duration of traced spans by name",
             labelnames=("name",), buckets=LATENCY_BUCKETS,
+        )
+        self._dropped = REGISTRY.counter(
+            "repro_obs_spans_dropped_total",
+            "Finished spans evicted from the tracer's bounded ring buffer",
         )
 
     # -- enablement ----------------------------------------------------
@@ -155,14 +167,47 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            self._active[threading.get_ident()] = stack
         return stack
 
     def _track(self) -> str | None:
         return getattr(self._local, "track", None)
 
+    def active_spans(self) -> dict[int, tuple[str | None, str | None]]:
+        """``{thread_id: (innermost_open_span_name, track_label)}``.
+
+        A lock-free snapshot for the sampling profiler: either element
+        may be ``None`` (no open span / unlabeled thread). Entries for
+        dead threads are pruned as a side effect.
+        """
+        active, tracks = self._active, self._tracks
+        alive = {t.ident for t in threading.enumerate()}
+        for tid in [t for t in list(active) if t not in alive]:
+            active.pop(tid, None)
+        for tid in [t for t in list(tracks) if t not in alive]:
+            tracks.pop(tid, None)
+        out: dict[int, tuple[str | None, str | None]] = {}
+        for tid in set(active) | set(tracks):
+            stack = active.get(tid)
+            name: str | None = None
+            if stack:
+                try:
+                    name = stack[-1].name
+                except IndexError:  # raced the owner's pop
+                    name = None
+            out[tid] = (name, tracks.get(tid))
+        return out
+
     def _record(self, span: Span) -> None:
+        dropped = 0
         with self._lock:
+            if self._spans.maxlen is not None and (
+                len(self._spans) == self._spans.maxlen
+            ):
+                dropped = 1
             self._spans.append(span)
+        if dropped:
+            self._dropped.inc()
         self._span_hist.observe(span.duration, name=span.name)
 
     def span(self, name: str, **attrs: Any) -> Any:
@@ -183,12 +228,21 @@ class Tracer:
     def drain(self) -> list[Span]:
         """Return all finished spans and clear the buffer."""
         with self._lock:
-            spans, self._spans = self._spans, []
+            spans = list(self._spans)
+            self._spans.clear()
         return spans
 
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
+
+    def dropped_spans(self) -> float:
+        """Spans evicted from the ring so far (process lifetime)."""
+        return self._dropped.value()
+
+    def max_spans(self) -> int:
+        """The ring capacity (0 = unbounded)."""
+        return self._spans.maxlen or 0
 
     def reset_in_child(self) -> None:
         """Start clean in a freshly-started worker process.
@@ -197,17 +251,26 @@ class Tracer:
         forking thread's open-span stack; both belong to the parent.
         """
         with self._lock:
-            self._spans = []
+            self._spans.clear()
+        self._active = {}
+        self._tracks = {}
         self._local.stack = []
         self._local.track = None
+        self._active[threading.get_ident()] = self._local.stack
 
     def adopt(self, spans: Iterable[Span]) -> None:
         """Merge spans recorded elsewhere (rank workers) into this tracer."""
         spans = list(spans)
         if not spans:
             return
+        dropped = 0
         with self._lock:
+            maxlen = self._spans.maxlen
+            if maxlen is not None:
+                dropped = max(0, len(self._spans) + len(spans) - maxlen)
             self._spans.extend(spans)
+        if dropped:
+            self._dropped.inc(dropped)
 
     # -- export --------------------------------------------------------
     def export_chrome(self, path: str | None = None, *,
@@ -283,10 +346,12 @@ class _TrackCtx:
         local = self._tracer._local
         self._prev = getattr(local, "track", None)
         local.track = self._name
+        self._tracer._tracks[threading.get_ident()] = self._name
         return self
 
     def __exit__(self, *exc) -> bool:
         self._tracer._local.track = self._prev
+        self._tracer._tracks[threading.get_ident()] = self._prev
         return False
 
 

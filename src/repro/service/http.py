@@ -30,6 +30,14 @@ Routes
     format 0.0.4 (cache residency gauges are refreshed per scrape).
 ``GET /healthz``
     ``{"ok": true}`` — liveness probe.
+``GET /debug``
+    Live observability dashboard (strict-XHTML, auto-refreshing):
+    service stats, solver health, watchdog readings, recent requests,
+    profiler status. See :mod:`repro.service.debug`.
+``GET /debug/profile?format=speedscope|folded``
+    The process profiler's current sample table as speedscope JSON or
+    folded-stack text (empty until ``REPRO_OBS_PROFILE_HZ`` or a manual
+    ``profile.start()`` collects samples).
 
 Every response carries an ``X-Request-Id`` header (client-supplied
 ``request_id`` body field, or a fresh hex id); errors are structured as
@@ -53,13 +61,15 @@ import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
+from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
 from repro.api.config import SolveConfig
 from repro.core.options import SRSOptions
-from repro.obs import REGISTRY, log_event, render_prometheus
+from repro.obs import REGISTRY, log_event, profile, render_prometheus
 from repro.obs.lockwatch import make_lock
+from repro.service.debug import render_debug
 from repro.service.service import ServiceOverloadedError, SolveService
 
 #: most distinct problem objects kept alive by one server
@@ -296,11 +306,44 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         request_id = uuid.uuid4().hex[:12]
-        if self.path == "/healthz":
+        parsed = urlparse(self.path)
+        path = parsed.path
+        if path == "/healthz":
             self._reply(200, {"ok": True}, request_id)
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._reply(200, self.server.service.stats().to_dict(), request_id)
-        elif self.path == "/metrics":
+        elif path == "/debug":
+            self._reply_raw(
+                200,
+                render_debug(self.server.service).encode(),
+                "text/html; charset=utf-8",
+                request_id,
+            )
+        elif path == "/debug/profile":
+            fmt = parse_qs(parsed.query).get("format", ["speedscope"])[0]
+            if fmt == "speedscope":
+                self._reply_raw(
+                    200,
+                    json.dumps(profile.speedscope()).encode(),
+                    "application/json",
+                    request_id,
+                )
+            elif fmt == "folded":
+                self._reply_raw(
+                    200,
+                    profile.folded().encode(),
+                    "text/plain; charset=utf-8",
+                    request_id,
+                )
+            else:
+                self._reply_error(
+                    400,
+                    f"unknown profile format {fmt!r}; expected speedscope or folded",
+                    "bad_field",
+                    request_id,
+                    "format",
+                )
+        elif path == "/metrics":
             # residency gauges are point-in-time; refresh them per scrape
             stats = self.server.service.stats()
             _CACHE_BYTES.set(stats.bytes_resident)
@@ -312,9 +355,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 request_id,
             )
         else:
-            self._reply_error(
-                404, f"unknown path {self.path}", "not_found", request_id
-            )
+            self._reply_error(404, f"unknown path {path}", "not_found", request_id)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         request_id = uuid.uuid4().hex[:12]

@@ -35,12 +35,13 @@ from repro.api.fingerprint import problem_fingerprint
 from repro.api.problem import check_problem
 from repro.api.report import SolveReport
 from repro.api.strategies import resolve_execution, resolve_strategy
-from repro.obs import REGISTRY, log_event, trace
+from repro.obs import REGISTRY, health, log_event, trace, watchdog
 from repro.service.batcher import RhsBatcher
 from repro.service.cache import FactorizationCache
 from repro.service.stats import ServiceStats, StatsCollector
 from repro.store import FactorizationStore
 from repro.util.config import (
+    obs_watchdog_s,
     service_batch_max,
     service_batch_mode,
     service_batch_window_s,
@@ -158,6 +159,16 @@ class SolveService:
             max_workers=config.workers, thread_name_prefix="repro-service"
         )
         self._closed = threading.Event()
+        # opt-in resource watchdog (REPRO_OBS_WATCHDOG_MS): feed this
+        # service's cache/store residency into the watchdog's per-tier
+        # gauges and make sure the sampler thread is running. Only the
+        # instance that actually started the watchdog stops it on close.
+        self._watchdog_source: str | None = None
+        self._watchdog_started = False
+        if obs_watchdog_s() > 0:
+            self._watchdog_source = f"service-{uuid.uuid4().hex[:8]}"
+            watchdog.add_residency_source(self._watchdog_source, self._residency)
+            self._watchdog_started = watchdog.start(obs_watchdog_s())
 
     # ------------------------------------------------------------------
     # request entry points
@@ -231,7 +242,19 @@ class SolveService:
             entries_resident=len(self._cache),
             evictions=self._cache.evictions,
             bytes_shared=self._store.shared_bytes() if self._store else 0,
+            health=health.snapshot(),
         )
+
+    def recent_requests(self) -> list[dict]:
+        """The last few completed/failed requests (dashboard feed)."""
+        return self._stats.recent_requests()
+
+    def _residency(self) -> dict[str, int]:
+        """``{tier: bytes}`` for the watchdog's store-residency gauges."""
+        tiers = {"cache": int(self._cache.bytes_resident)}
+        if self._store is not None:
+            tiers.update(self._store.residency())
+        return tiers
 
     @property
     def cache(self) -> FactorizationCache:
@@ -248,6 +271,12 @@ class SolveService:
         if self._closed.is_set():
             return
         self._closed.set()
+        if self._watchdog_source is not None:
+            watchdog.remove_residency_source(self._watchdog_source)
+            self._watchdog_source = None
+        if self._watchdog_started:
+            watchdog.stop()
+            self._watchdog_started = False
         self._executor.shutdown(wait=wait)
         self._cache.close()
         if self._store is not None:
@@ -378,6 +407,15 @@ class SolveService:
         self._stats.incr("completed")
         duration = time.perf_counter() - req.t_submit
         self._stats.record_latency(duration)
+        self._stats.record_request(
+            request_id=req.request_id,
+            status="ok",
+            method=report.method,
+            cache_hit=bool(report.cache_hit),
+            batch_size=report.batch_size,
+            duration_s=duration,
+            spans=[dict(s) for s in report.spans],
+        )
         req.future.set_result(report)
         log_event(
             "solve",
@@ -397,13 +435,21 @@ class SolveService:
     def _fail(self, req: _Request, exc: BaseException) -> None:
         self._release_slot(req)
         self._stats.incr("failed")
+        duration = time.perf_counter() - req.t_submit
+        self._stats.record_request(
+            request_id=req.request_id,
+            status="error",
+            method=req.config.method,
+            error=f"{type(exc).__name__}: {exc}",
+            duration_s=duration,
+        )
         log_event(
             "solve",
             request_id=req.request_id,
             status="error",
             method=req.config.method,
             error=f"{type(exc).__name__}: {exc}",
-            duration=time.perf_counter() - req.t_submit,
+            duration=duration,
         )
         if not req.future.done():
             req.future.set_exception(exc)

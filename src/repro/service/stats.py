@@ -8,14 +8,56 @@ the counters into an immutable :class:`ServiceStats` report (the
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import asdict, dataclass
+from typing import Any
 
 from repro.obs import COUNT_BUCKETS, LATENCY_BUCKETS, REGISTRY
 from repro.obs.lockwatch import make_lock
 
-#: how many recent request latencies back the percentile estimates
-LATENCY_WINDOW = 4096
+#: how many latency samples back the percentile estimates (fixed memory)
+RESERVOIR_SIZE = 1024
+
+#: completed/failed requests retained for the /debug dashboard
+RECENT_REQUESTS = 32
+
+
+class _Reservoir:
+    """Fixed-size uniform sample of a value stream (Vitter's algorithm R).
+
+    The latency percentiles used to come from a sliding window, whose
+    memory grew with the window and whose view forgot everything older
+    than the last N requests. A reservoir keeps O(size) memory forever
+    while remaining a uniform sample over *every* observation. The RNG
+    is seeded: percentile estimates need no entropy, and a fixed seed
+    keeps test runs reproducible.
+    """
+
+    __slots__ = ("_values", "_seen", "_rng", "_size")
+
+    def __init__(self, size: int = RESERVOIR_SIZE, seed: int = 0x5EED):
+        self._size = int(size)
+        self._values: list[float] = []
+        self._seen = 0
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self._seen += 1
+        if len(self._values) < self._size:
+            self._values.append(value)
+            return
+        j = self._rng.randrange(self._seen)
+        if j < self._size:
+            self._values[j] = value
+
+    @property
+    def seen(self) -> int:
+        """Observations offered so far (not the retained count)."""
+        return self._seen
+
+    def values(self) -> list[float]:
+        return list(self._values)
 
 
 @dataclass(frozen=True)
@@ -54,9 +96,17 @@ class ServiceStats:
         them; ``mean_batch_occupancy`` is their ratio and
         ``max_batch_occupancy`` the largest single batch.
     p50_latency_s / p95_latency_s:
-        Submit-to-completion latency percentiles over the most recent
-        ``LATENCY_WINDOW`` completed requests (``None`` before the
-        first completion).
+        Submit-to-completion latency percentiles, estimated from a
+        fixed-size uniform reservoir (:data:`RESERVOIR_SIZE` samples,
+        Vitter's algorithm R) over *all* completed requests — O(1)
+        memory regardless of traffic (``None`` before the first
+        completion).
+    health:
+        The process-wide solver-health rollup
+        (:meth:`~repro.obs.health.HealthMonitor.snapshot`): per-level
+        skeleton rank/compression aggregates and per-method Krylov
+        convergence counters. ``None`` when the snapshot was taken
+        without one.
     """
 
     requests: int = 0
@@ -79,6 +129,7 @@ class ServiceStats:
     max_batch_occupancy: int = 0
     p50_latency_s: float | None = None
     p95_latency_s: float | None = None
+    health: dict[str, Any] | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -121,7 +172,8 @@ class StatsCollector:
         }
         self._max_batch = 0
         self._pending = 0
-        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._latencies = _Reservoir()
+        self._recent: deque[dict[str, Any]] = deque(maxlen=RECENT_REQUESTS)
         # every count is mirrored into the process-wide metrics registry
         # (shared across service instances; /metrics renders cumulative
         # process totals, /stats renders this instance)
@@ -184,8 +236,23 @@ class StatsCollector:
 
     def record_latency(self, seconds: float) -> None:
         with self._lock:
-            self._latencies.append(float(seconds))
+            self._latencies.add(float(seconds))
         self._m_latency.observe(seconds)
+
+    def record_request(self, **info: Any) -> None:
+        """Push one finished request onto the recent-requests ring.
+
+        The ring backs the ``/debug`` dashboard's request table; it
+        keeps the last :data:`RECENT_REQUESTS` entries (newest last)
+        and is independent of the latency reservoir.
+        """
+        with self._lock:
+            self._recent.append(dict(info))
+
+    def recent_requests(self) -> list[dict[str, Any]]:
+        """The retained finished requests, oldest first."""
+        with self._lock:
+            return list(self._recent)
 
     def snapshot(
         self,
@@ -194,10 +261,11 @@ class StatsCollector:
         entries_resident: int = 0,
         evictions: int | None = None,
         bytes_shared: int = 0,
+        health: dict[str, Any] | None = None,
     ) -> ServiceStats:
         with self._lock:
             counts = dict(self._counts)
-            lats = sorted(self._latencies)
+            lats = sorted(self._latencies.values())
             max_batch = self._max_batch
         if evictions is not None:  # the cache counts its own evictions
             counts["evictions"] = int(evictions)
@@ -214,4 +282,5 @@ class StatsCollector:
             max_batch_occupancy=max_batch,
             p50_latency_s=p50,
             p95_latency_s=p95,
+            health=health,
         )

@@ -153,6 +153,26 @@ class FactorizationStore:
     def _account_locked(self) -> None:
         _SHARED_BYTES.set(sum(shared_nbytes(refs) for refs, _ in self._held.values()))
 
+    def residency(self) -> dict[str, int]:
+        """``{tier: bytes}`` across the store's tiers (watchdog feed).
+
+        ``shared`` is this process's held shm bytes; ``disk`` totals the
+        warm-start spill files currently under :attr:`root` (a readdir
+        per sample — the watchdog's cadence, not a hot path).
+        """
+        disk = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            names = []
+        for name in names:
+            if name.endswith(".spill"):
+                try:
+                    disk += os.stat(os.path.join(self.root, name)).st_size
+                except OSError:  # racing a concurrent eviction/cleanup
+                    pass
+        return {"shared": self.shared_bytes(), "disk": disk}
+
     # ------------------------------------------------------------------
     # lookup / build
     # ------------------------------------------------------------------

@@ -343,6 +343,62 @@ def obs_trace_path() -> str | None:
     return raw
 
 
+def obs_profile_hz() -> float:
+    """Sampling-profiler rate in samples/second (``REPRO_OBS_PROFILE_HZ``).
+
+    0 (default) keeps the profiler off. A positive rate starts the
+    background sampler at import of :mod:`repro.obs.profiler`; rank
+    worker processes inherit the parent's live rate per job through the
+    dispatch channel, exactly like the span-tracing flag.
+    """
+    hz = env_float("REPRO_OBS_PROFILE_HZ", 0.0)
+    if hz < 0:
+        raise ValueError(f"REPRO_OBS_PROFILE_HZ must be >= 0, got {hz}")
+    return hz
+
+
+def obs_profile_path() -> str | None:
+    """Profiler autosave target (``REPRO_OBS_PROFILE_PATH``).
+
+    When set (and the profiler collected samples), the process writes a
+    speedscope JSON document to this path at exit, plus collapsed
+    stacks at ``<path>.folded`` for flamegraph tooling.
+    """
+    raw = os.environ.get("REPRO_OBS_PROFILE_PATH")
+    if raw is None or raw.strip() == "":
+        return None
+    return raw
+
+
+def obs_max_spans() -> int:
+    """Most finished spans the tracer retains (``REPRO_OBS_MAX_SPANS``).
+
+    The span buffer is a ring: once full, recording a span drops the
+    oldest one and bumps ``repro_obs_spans_dropped_total`` — a
+    long-running service keeps the most recent window instead of
+    growing without bound (default 65536; 0 means unbounded).
+    """
+    n = env_int("REPRO_OBS_MAX_SPANS", 65536)
+    if n < 0:
+        raise ValueError(f"REPRO_OBS_MAX_SPANS must be >= 0, got {n}")
+    return n
+
+
+def obs_watchdog_s() -> float:
+    """Resource-watchdog sampling period (``REPRO_OBS_WATCHDOG_MS``).
+
+    0 (default) keeps the watchdog off. A positive period makes the
+    solve service start a background sampler that publishes RSS,
+    tracked /dev/shm bytes, pool worker liveness, and store-tier
+    residency as gauges, and logs a structured warning when a tracked
+    shm block outlives its registration (a leak).
+    """
+    ms = env_float("REPRO_OBS_WATCHDOG_MS", 0.0)
+    if ms < 0:
+        raise ValueError(f"REPRO_OBS_WATCHDOG_MS must be >= 0, got {ms}")
+    return ms / 1e3
+
+
 def vmpi_start_method() -> str | None:
     """Multiprocessing start-method override (``REPRO_VMPI_START_METHOD``).
 

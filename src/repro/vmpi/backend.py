@@ -53,6 +53,11 @@ class RankReport:
     #: and for the thread backend, whose spans land in the parent
     #: tracer directly)
     spans: list = field(default_factory=list)
+    #: profiler sample table recorded on this rank while the parent was
+    #: profiling — shipped and adopted exactly like ``spans`` (empty for
+    #: the thread backend, whose rank threads the parent profiler
+    #: samples in-process)
+    profile: dict = field(default_factory=dict)
 
 
 @dataclass

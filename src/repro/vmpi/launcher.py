@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.obs import trace
+from repro.obs import profile, trace
 from repro.vmpi.backend import (  # noqa: F401 - re-exported for compatibility
     ExecutionBackend,
     SPMDRun,
@@ -57,4 +57,8 @@ def run_spmd(
         if spans:
             trace.adopt(spans)
             report.spans = []
+        table = getattr(report, "profile", None)
+        if table:
+            profile.adopt(table)
+            report.profile = {}
     return run

@@ -50,7 +50,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable
 
-from repro.obs import trace
+from repro.obs import profile, trace
 from repro.obs.lockwatch import make_lock
 from repro.util.config import vmpi_pool_max
 from repro.vmpi.backend import RankReport, SPMDRun, report_from_comm
@@ -98,6 +98,7 @@ def _pool_worker_main(
     of pinning factorization-sized memory while the worker idles on the
     next command."""
     trace.reset_in_child()  # fork children inherit the parent's span buffer
+    profile.reset_in_child()  # ... and the parent's profiler samples
     while True:
         try:
             blob = cmd_q.get()
@@ -125,6 +126,13 @@ def _execute_job(rank: int, cmd, mailboxes: list, registry, min_shm_bytes: int) 
     # long-lived workers
     trace.set_enabled(bool(cmd[3]) if len(cmd) > 3 else False)
     trace.clear()
+    # the parent's live profiling rate travels the same way: the worker
+    # profiles only while a job runs (an idle worker would accumulate
+    # unattributable samples between jobs) and ships its table back
+    profile_hz = float(cmd[4]) if len(cmd) > 4 else 0.0
+    profile.clear()
+    if profile_hz > 0:
+        profile.start(profile_hz)
     created = _RegisteredRefs(registry)
     try:
         fn, args, cost_model, copy_payloads = decode_payload(pickle.loads(payload_blob))
@@ -138,6 +146,9 @@ def _execute_job(rank: int, cmd, mailboxes: list, registry, min_shm_bytes: int) 
             result = fn(comm, *args)
         report = report_from_comm(comm)
         report.spans = trace.drain()
+        if profile_hz > 0:
+            profile.stop()
+            report.profile = profile.drain_table()
         out = (
             rank,
             job_id,
@@ -147,6 +158,8 @@ def _execute_job(rank: int, cmd, mailboxes: list, registry, min_shm_bytes: int) 
         )
         return pickle.dumps(out, protocol=_PICKLE)
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        if profile_hz > 0:
+            profile.stop()
         _release_refs(created)
         return pickle.dumps(
             (rank, job_id, False, _describe(exc), None), protocol=_PICKLE
@@ -405,7 +418,10 @@ class RankPool:
         self._job_id += 1
         self.jobs_run += 1
         job = self._job_id
-        blob = pickle.dumps(("run", job, payload_blob, trace.enabled), protocol=_PICKLE)
+        blob = pickle.dumps(
+            ("run", job, payload_blob, trace.enabled, profile.active_hz),
+            protocol=_PICKLE,
+        )
         try:
             with trace.span("vmpi.dispatch", ranks=self.nranks, job=job):
                 for rank in range(self.nranks):
@@ -491,6 +507,19 @@ class RankPool:
                 fail_grace = time.monotonic() + 1.0
         return outcomes
 
+    def registered_shm_names(self) -> set:
+        """Names of shm blocks currently registered by this pool's workers.
+
+        A lock-free snapshot for the resource watchdog: racing a
+        dispatch may show a block one beat early or late, which the
+        watchdog's multi-sample persistence requirement absorbs. Never
+        attaches or unlinks anything — observation only.
+        """
+        try:
+            return set(self._registered)
+        except RuntimeError:  # pragma: no cover - set resized mid-copy
+            return set()
+
     def _sweep(self) -> None:
         """Unlink orphaned shm blocks (workers must be idle).
 
@@ -567,6 +596,34 @@ def active_pools() -> list[RankPool]:
     """Snapshot of the cached pools (introspection/tests)."""
     with _POOLS_LOCK:
         return list(_POOLS.values())
+
+
+def pools_health() -> list[dict]:
+    """Liveness rollup of every cached pool (watchdog/debug feed).
+
+    Lock-free over each pool's worker list: a pool mid-(re)spawn or
+    mid-teardown may report a transient mix, which periodic samplers
+    tolerate by design.
+    """
+    out = []
+    for pool in active_pools():
+        procs = pool._procs
+        alive = 0
+        for pr in procs or ():
+            try:
+                alive += 1 if pr.is_alive() else 0
+            except ValueError:  # pragma: no cover - process already closed
+                pass
+        out.append({
+            "nranks": pool.nranks,
+            "start_method": pool.start_method,
+            "workers": len(procs) if procs is not None else 0,
+            "alive": alive,
+            "pinned": pool.pinned,
+            "jobs_run": pool.jobs_run,
+            "generation": pool.generation,
+        })
+    return out
 
 
 def _forget(pool: RankPool) -> None:

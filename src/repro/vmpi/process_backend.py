@@ -41,7 +41,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.obs import BYTES_BUCKETS, REGISTRY, trace
+from repro.obs import BYTES_BUCKETS, REGISTRY, profile, trace
 from repro.util.config import vmpi_pool, vmpi_shm_min_bytes, vmpi_start_method
 from repro.vmpi.backend import ExecutionBackend, RankReport, SPMDRun, report_from_comm
 from repro.vmpi.clock import CostModel
@@ -508,6 +508,7 @@ def _rank_main(
     min_shm_bytes: int,
     registry=None,
     trace_on: bool = False,
+    profile_hz: float = 0.0,
 ) -> None:
     """Entry point of one rank process."""
     # adopt the parent's live tracing state and start from a clean span
@@ -515,6 +516,9 @@ def _rank_main(
     # must not be shipped back (the parent already has them)
     trace.set_enabled(trace_on)
     trace.reset_in_child()
+    profile.reset_in_child()
+    if profile_hz > 0:
+        profile.start(profile_hz)
     transport = ProcessTransport(mailboxes, min_shm_bytes, registry=registry)
     comm = Comm(transport, rank, cost_model=cost_model, copy_payloads=copy_payloads)
     created = _RegisteredRefs(registry)
@@ -525,6 +529,9 @@ def _rank_main(
         # spans recorded on this rank ride the pickle side of the result
         # channel; run_spmd adopts them into the parent tracer
         report.spans = trace.drain()
+        if profile_hz > 0:
+            profile.stop()
+            report.profile = profile.drain_table()
         # results round-trip through the shm codec too: factorization
         # products (WorkerResult trees of BoxRecord/PartialLU arrays)
         # travel zero-copy, leaving only control-message-sized pickles
@@ -726,6 +733,7 @@ class ProcessBackend(ExecutionBackend):
                     self.min_shm_bytes,
                     registry,
                     trace.enabled,
+                    profile.active_hz,
                 ),
                 name=f"vmpi-rank-{r}",
                 daemon=True,

@@ -480,6 +480,77 @@ def test_obs_conventions_clean(tmp_path):
     assert result.clean
 
 
+def test_obs_conventions_subsystem_prefix(tmp_path):
+    files = {
+        "src/repro/obs/health.py": """\
+            from repro.obs.metrics import REGISTRY
+
+            GOOD = REGISTRY.counter("repro_health_boxes_total", "d")
+            BAD = REGISTRY.gauge("repro_rank_bytes", "d")
+        """,
+        "src/repro/obs/other.py": """\
+            from repro.obs.metrics import REGISTRY
+
+            FREE = REGISTRY.gauge("repro_rank_bytes", "d")
+        """,
+    }
+    result = run(tmp_path, files, ["obs-conventions"])
+    findings = by_checker(result, "obs-conventions")
+    # only the namespaced module is held to its prefix
+    assert [(f.symbol, f.path.endswith("health.py")) for f in findings] == [
+        ("prefix:repro_rank_bytes", True),
+    ]
+
+
+def test_obs_conventions_knob_registry_mismatch(tmp_path):
+    files = {
+        "src/repro/obs/__init__.py": """\
+            OBS_KNOBS = (
+                "REPRO_OBS",
+                "REPRO_OBS_STALE",
+                "REPRO_NOT_OBS",
+            )
+        """,
+        "src/repro/util/config.py": """\
+            import os
+
+            def obs_enabled():
+                return os.environ.get("REPRO_OBS", "off") == "on"
+
+            def obs_unlisted():
+                return os.environ.get("REPRO_OBS_UNLISTED")
+        """,
+    }
+    result = run(tmp_path, files, ["obs-conventions"])
+    symbols = {f.symbol for f in by_checker(result, "obs-conventions")}
+    assert symbols == {
+        "knob:REPRO_OBS_STALE",      # declared but never read
+        "knob:REPRO_NOT_OBS",        # not a REPRO_OBS* name
+        "knob:REPRO_OBS_UNLISTED",   # read but not registered
+    }
+
+
+def test_obs_conventions_knob_registry_missing_and_clean(tmp_path):
+    config = """\
+        import os
+
+        def obs_enabled():
+            return os.environ.get("REPRO_OBS", "off") == "on"
+    """
+    result = run(tmp_path, {
+        "src/repro/obs/__init__.py": "X = 1\n",
+        "src/repro/util/config.py": config,
+    }, ["obs-conventions"])
+    assert [f.symbol for f in by_checker(result, "obs-conventions")] == [
+        "obs-knobs-missing",
+    ]
+    result = run(tmp_path, {
+        "src/repro/obs/__init__.py": 'OBS_KNOBS = ("REPRO_OBS",)\n',
+        "src/repro/util/config.py": config,
+    }, ["obs-conventions"])
+    assert result.clean
+
+
 # ----------------------------------------------------------------------
 # dead-code
 # ----------------------------------------------------------------------

@@ -1,0 +1,396 @@
+"""Deep-observability tests: profiler, solver health, watchdog, stalls."""
+
+import json
+import logging
+import os
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro
+from repro.iterative.stall import refinement_stalled
+from repro.obs import (
+    HealthMonitor,
+    ResourceWatchdog,
+    SamplingProfiler,
+    Tracer,
+    profile,
+    solve_health,
+    trace,
+)
+from repro.obs.profiler import NO_SPAN
+from repro.vmpi import ProcessBackend, process_backend_available, run_spmd
+
+needs_process = pytest.mark.skipif(
+    not process_backend_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+needs_shm_dir = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+
+
+@pytest.fixture
+def global_trace():
+    """Enable the process-wide tracer for one test, then restore it."""
+    was = trace.enabled
+    trace.clear()
+    trace.enable()
+    yield trace
+    trace.set_enabled(was)
+    trace.clear()
+
+
+def _busy(seconds):
+    """Hold the GIL with real Python work for about ``seconds``."""
+    deadline = time.perf_counter() + seconds
+    x = 0
+    while time.perf_counter() < deadline:
+        x += 1
+    return x
+
+
+def _sample_inside_span(prof, span_name, min_samples=8, timeout=10.0):
+    """Busy-loop inside a span until ``prof`` has collected samples."""
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        with trace.span(span_name):
+            _busy(0.05)
+        if sum(prof.snapshot_table().values()) >= min_samples:
+            return
+
+
+# ----------------------------------------------------------------------
+# sampling profiler
+# ----------------------------------------------------------------------
+def test_profiler_attributes_samples_to_spans(global_trace):
+    prof = SamplingProfiler()
+    assert prof.start(250)
+    try:
+        _sample_inside_span(prof, "profiled.hot")
+    finally:
+        prof.stop()
+    stats = prof.stats()
+    assert stats["samples"] >= 8
+    assert stats["attributed"] / stats["samples"] > 0.8
+    assert "profiled.hot" in stats["spans"]
+    assert "main" in stats["tracks"]
+    assert not prof.running and prof.active_hz == 0.0
+
+
+def test_profiler_folded_and_speedscope_exports(tmp_path, global_trace):
+    prof = SamplingProfiler()
+    assert prof.start(250)
+    try:
+        _sample_inside_span(prof, "profiled.hot")
+    finally:
+        prof.stop()
+
+    folded = prof.folded()
+    assert folded.endswith("\n")
+    assert any(
+        line.startswith("main;profiled.hot;") for line in folded.splitlines()
+    )
+    fold_path = tmp_path / "prof.folded"
+    prof.export_folded(str(fold_path))
+    assert fold_path.read_text() == folded
+
+    path = tmp_path / "prof.speedscope.json"
+    doc = prof.export_speedscope(str(path), name="t")
+    assert json.loads(path.read_text()) == doc
+    names = [p["name"] for p in doc["profiles"]]
+    assert "main" in names
+    main_prof = doc["profiles"][names.index("main")]
+    assert main_prof["type"] == "sampled" and main_prof["unit"] == "seconds"
+    assert len(main_prof["samples"]) == len(main_prof["weights"])
+    assert main_prof["endValue"] == pytest.approx(sum(main_prof["weights"]))
+    # span attribution survives as the synthetic root frame
+    frames = doc["shared"]["frames"]
+    roots = {frames[s[0]]["name"] for s in main_prof["samples"]}
+    assert "profiled.hot" in roots
+
+
+def test_profiler_drain_and_adopt_merge_counts():
+    key = ("rank0", "work.step", (("f", "file.py", 1),))
+    a = SamplingProfiler()
+    a.adopt({key: 3})
+    b = SamplingProfiler()
+    b.adopt({key: 2})
+    b.adopt(a.drain_table())
+    assert a.snapshot_table() == {}
+    assert b.snapshot_table() == {key: 5}
+    assert b.stats()["tracks"] == {"rank0": 5}
+    b.clear()
+    assert b.stats()["samples"] == 0
+
+
+def test_profiler_unattributed_samples_fold_under_no_span():
+    prof = SamplingProfiler()
+    prof.adopt({("main", NO_SPAN, (("f", "file.py", 1),)): 4})
+    stats = prof.stats()
+    assert stats["samples"] == 4 and stats["attributed"] == 0
+    assert prof.folded().startswith(f"main;{NO_SPAN};f ")
+
+
+def test_profiling_does_not_change_solve_bitwise():
+    prob = repro.LaplaceVolumeProblem(m=8)
+    b = prob.random_rhs(2)
+    x_off = repro.solve(prob, b).x
+    prof = SamplingProfiler()
+    assert prof.start(250)
+    try:
+        x_on = repro.solve(prob, b).x
+    finally:
+        prof.stop()
+    np.testing.assert_array_equal(x_off, x_on)
+
+
+def test_profiler_overhead_guard():
+    # Interleaved min-of-N wall-clock of the same busy loop with the
+    # sampler on (default rate) and off. The bound is generous — CI
+    # boxes are noisy and often single-core — but a runaway sampler
+    # (bad rate, quadratic stack walk) costs far more than this.
+    prof = SamplingProfiler()
+    base, on = [], []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        _busy(0.05)
+        base.append(time.perf_counter() - t0)
+        assert prof.start()  # DEFAULT_HZ
+        try:
+            t0 = time.perf_counter()
+            _busy(0.05)
+            on.append(time.perf_counter() - t0)
+        finally:
+            prof.stop()
+    assert min(on) <= min(base) * 1.25 + 0.01, (base, on)
+
+
+def _profiled_rank_prog(comm):
+    with trace.span("work.burn", rank=comm.rank):
+        _busy(0.25)
+    return comm.rank
+
+
+@needs_process
+def test_process_ranks_ship_profile_tables(global_trace):
+    profile.clear()
+    assert profile.start(250)
+    try:
+        run = run_spmd(2, _profiled_rank_prog, backend=ProcessBackend(pool=False))
+    finally:
+        profile.stop()
+    assert run.results == [0, 1]
+    table = profile.drain_table()
+    tracks = {track for (track, _span, _frames) in table}
+    assert {"rank0", "rank1"}.issubset(tracks)
+    spans = {span for (_track, span, _frames) in table}
+    assert "work.burn" in spans
+    # adopted into the parent profiler, not left behind on the reports
+    assert all(not r.profile for r in run.reports)
+
+
+# ----------------------------------------------------------------------
+# solver health
+# ----------------------------------------------------------------------
+def test_health_monitor_level_rollup():
+    hm = HealthMonitor()
+    hm.record_box(2, 100, 20)
+    hm.record_box(2, 50, 30)
+    hm.record_box(1, 10, 10)
+    snap = hm.snapshot()
+    assert [r["level"] for r in snap["levels"]] == [1, 2]
+    rows = {r["level"]: r for r in snap["levels"]}
+    assert rows[1]["boxes"] == 1
+    assert rows[1]["avg_compression"] == pytest.approx(1.0)
+    assert rows[2]["boxes"] == 2
+    assert rows[2]["avg_rank"] == pytest.approx(25.0)
+    assert rows[2]["max_rank"] == 30
+    assert rows[2]["avg_compression"] == pytest.approx((0.2 + 0.6) / 2)
+
+
+def test_health_monitor_krylov_rollup():
+    hm = HealthMonitor()
+    hm.observe_krylov("pcg", SimpleNamespace(
+        iterations=5, converged=True, stalled=False, final_residual=1e-13,
+    ))
+    hm.observe_krylov("pcg", SimpleNamespace(
+        iterations=40, converged=False, stalled=True, final_residual=1e-3,
+    ))
+    (row,) = hm.snapshot()["krylov"]
+    assert row["method"] == "pcg"
+    assert row["solves"] == 2 and row["iterations"] == 45
+    assert row["converged"] == 1 and row["stalls"] == 1
+    assert row["last_relres"] == pytest.approx(1e-3)
+
+
+def test_health_monitor_ignores_non_finite_residual():
+    hm = HealthMonitor()
+    hm.observe_krylov("pgmres", SimpleNamespace(
+        iterations=1, converged=False, stalled=False,
+        final_residual=float("inf"),
+    ))
+    (row,) = hm.snapshot()["krylov"]
+    assert row["last_relres"] is None
+
+
+def test_solve_health_without_feeds_is_none():
+    assert solve_health(SimpleNamespace(), None) is None
+
+
+def test_direct_solve_report_carries_health():
+    prob = repro.LaplaceVolumeProblem(m=8)
+    rep = repro.solve(prob, prob.random_rhs(0))
+    h = rep.health
+    assert h is not None and h.levels
+    assert h.iterations == 0 and h.converged and not h.stalled
+    doc = rep.to_dict()["health"]
+    assert doc["levels"] and doc["levels"][0]["boxes"] > 0
+
+
+def test_iterative_solve_report_carries_krylov_health():
+    prob = repro.LaplaceVolumeProblem(m=8)
+    rep = repro.solve(prob, prob.random_rhs(1), method="pcg")
+    h = rep.health
+    assert h is not None and h.iterations > 0
+    assert h.converged and not h.stalled
+    assert h.final_relres is not None and h.final_relres < 1e-10
+
+
+def test_refinement_stall_detection():
+    # converged never stalls; short histories have no "before" window
+    assert not refinement_stalled([1.0] * 30, True)
+    assert not refinement_stalled([1.0] * 5, False)
+    # steadily improving residuals are slow, not stalled
+    improving = [10.0 * 0.5 ** k for k in range(30)]
+    assert not refinement_stalled(improving, False)
+    # a plateau above tolerance is the stall signature
+    plateau = [10.0 * 0.5 ** k for k in range(10)] + [1e-3] * 15
+    assert refinement_stalled(plateau, False)
+
+
+# ----------------------------------------------------------------------
+# resource watchdog
+# ----------------------------------------------------------------------
+@needs_shm_dir
+def test_watchdog_flags_persistent_shm_drift(caplog):
+    # a deliberately "leaked" block: a tracked name that stays on disk
+    name = f"repro-wd-leak-{os.getpid()}"
+    path = os.path.join("/dev/shm", name)
+    with open(path, "wb") as fh:
+        fh.write(b"\0" * 512)
+    wd = ResourceWatchdog(shm_tracked=lambda: {name}, leak_samples=3)
+    try:
+        with caplog.at_level(logging.INFO, logger="repro.requests"):
+            info = wd.sample()
+            assert info["leaked"] == []  # not persistent long enough yet
+            wd.sample()
+            info = wd.sample()
+        assert info["shm_tracked_blocks"] == 1
+        assert info["shm_tracked_bytes"] == 512
+        assert info["leaked"] == [name]
+        docs = [json.loads(r.getMessage()) for r in caplog.records]
+        leaks = [d for d in docs if d.get("event") == "watchdog_leak"]
+        assert len(leaks) == 1
+        assert leaks[0]["name"] == name and leaks[0]["bytes"] == 512
+        # warned once per name, not once per sample
+        caplog.clear()
+        with caplog.at_level(logging.INFO, logger="repro.requests"):
+            wd.sample()
+        docs = [json.loads(r.getMessage()) for r in caplog.records]
+        assert not [d for d in docs if d.get("event") == "watchdog_leak"]
+    finally:
+        os.remove(path)
+    # the name is gone from disk; the leak stays on record
+    info = wd.sample()
+    assert info["shm_tracked_blocks"] == 0 and info["leaked"] == [name]
+    wd.reset()
+    assert wd.last() == {}
+
+
+@needs_shm_dir
+def test_watchdog_ignores_transient_blocks(caplog):
+    name = f"repro-wd-transient-{os.getpid()}"
+    path = os.path.join("/dev/shm", name)
+    wd = ResourceWatchdog(shm_tracked=lambda: {name}, leak_samples=3)
+    with caplog.at_level(logging.INFO, logger="repro.requests"):
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 64)
+        wd.sample()
+        wd.sample()
+        os.remove(path)  # swept in time: never reaches leak_samples
+        for _ in range(3):
+            info = wd.sample()
+    assert info["leaked"] == []
+    docs = [json.loads(r.getMessage()) for r in caplog.records]
+    assert not [d for d in docs if d.get("event") == "watchdog_leak"]
+
+
+def test_watchdog_residency_sources_aggregate():
+    wd = ResourceWatchdog(shm_tracked=set)
+    wd.add_residency_source("svc", lambda: {"cache": 100, "shared": 10})
+    wd.add_residency_source("other", lambda: {"cache": 11})
+    info = wd.sample()
+    assert info["store_bytes"] == {"cache": 111, "shared": 10}
+    assert info["rss_bytes"] > 0
+    wd.remove_residency_source("other")
+    assert wd.sample()["store_bytes"] == {"cache": 100, "shared": 10}
+    assert wd.last()["samples"] == 2
+
+
+def test_watchdog_survives_broken_providers():
+    def boom():
+        raise RuntimeError("provider races teardown")
+
+    wd = ResourceWatchdog(shm_tracked=boom)
+    wd.add_residency_source("bad", boom)
+    info = wd.sample()
+    assert info["shm_tracked_blocks"] == 0
+    assert info["store_bytes"] == {}
+
+
+def test_watchdog_thread_lifecycle():
+    wd = ResourceWatchdog(shm_tracked=set)
+    assert not wd.start(0)  # a zero period keeps the watchdog off
+    assert wd.start(0.01)
+    assert wd.start(0.01)  # idempotent
+    try:
+        deadline = time.perf_counter() + 5.0
+        while not wd.last() and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        assert wd.last().get("samples", 0) >= 1
+    finally:
+        wd.stop()
+    assert not wd.running
+
+
+# ----------------------------------------------------------------------
+# tracer ring buffer
+# ----------------------------------------------------------------------
+def test_tracer_ring_caps_and_counts_drops(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_MAX_SPANS", "4")
+    tr = Tracer(enabled=True)
+    assert tr.max_spans() == 4
+    before = tr.dropped_spans()
+    for step in range(6):
+        with tr.span("ring.step", step=step):
+            pass
+    spans = tr.snapshot()
+    assert len(spans) == 4
+    assert [s.attrs["step"] for s in spans] == [2, 3, 4, 5]  # oldest evicted
+    assert tr.dropped_spans() - before == 2
+
+
+def test_tracer_unbounded_when_max_spans_zero(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_MAX_SPANS", "0")
+    tr = Tracer(enabled=True)
+    assert tr.max_spans() == 0
+    before = tr.dropped_spans()
+    for step in range(100):
+        with tr.span("ring.step", step=step):
+            pass
+    assert len(tr.snapshot()) == 100
+    assert tr.dropped_spans() == before

@@ -402,3 +402,55 @@ def test_concurrent_distinct_problems(prob):
         st = svc.stats()
     assert st.factorizations == 2
     assert st.entries_resident == 2
+
+
+def test_latency_reservoir_fixed_memory():
+    from repro.service.stats import _Reservoir
+
+    r = _Reservoir(size=8)
+    for i in range(1000):
+        r.add(float(i))
+    assert r.seen == 1000
+    assert len(r.values()) == 8
+    assert all(0.0 <= v < 1000.0 for v in r.values())
+
+
+def test_latency_percentiles_exact_under_reservoir_size():
+    from repro.service.stats import StatsCollector
+
+    col = StatsCollector()
+    for i in range(101):
+        col.record_latency(i / 100.0)
+    st = col.snapshot(bytes_resident=0, entries_resident=0)
+    assert st.p50_latency_s == pytest.approx(0.5)
+    assert st.p95_latency_s == pytest.approx(0.95)
+
+
+def test_recent_request_ring_caps():
+    from repro.service.stats import RECENT_REQUESTS, StatsCollector
+
+    col = StatsCollector()
+    for i in range(RECENT_REQUESTS + 8):
+        col.record_request(request_id=f"r{i}", status="ok")
+    recent = col.recent_requests()
+    assert len(recent) == RECENT_REQUESTS
+    assert recent[0]["request_id"] == "r8"  # oldest evicted
+    assert recent[-1]["request_id"] == f"r{RECENT_REQUESTS + 7}"
+
+
+def test_stats_carry_health_and_recent_requests(prob):
+    bad = LaplaceVolumeProblem(16)
+    # a tree over the wrong point set makes srs_factor raise
+    bad.tree = QuadTree(np.array([[0.5, 0.5]]), 3)
+    with SolveService(workers=2) as svc:
+        svc.solve(prob, prob.random_rhs(0))
+        with pytest.raises(ValueError, match="same point set"):
+            svc.solve(bad, bad.random_rhs(0))
+        st = svc.stats()
+        recent = svc.recent_requests()
+    assert st.health is not None and st.health["levels"]
+    assert st.to_dict()["health"]["levels"]
+    ok = [r for r in recent if r["status"] == "ok"]
+    failed = [r for r in recent if r["status"] == "error"]
+    assert ok and ok[-1]["duration_s"] >= 0 and ok[-1]["spans"]
+    assert failed and "error" in failed[-1]

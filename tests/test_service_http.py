@@ -235,3 +235,54 @@ def test_build_problem_cache_reuses_instances(server):
     fresh = build_problem(spec)
     assert fresh is not server.problem_for(spec)
     assert fresh.fingerprint() == server.problem_for(spec).fingerprint()
+
+
+def test_debug_dashboard_is_strict_xhtml(server):
+    import xml.etree.ElementTree as ET
+
+    # prime with one solve so the health tables have rows
+    status, _ = _request(
+        server, "POST", "/solve",
+        {"problem": {"type": "laplace_volume", "m": 16}, "rhs": {"seed": 11}},
+    )
+    assert status == 200
+    status, headers, data = _request_full(server, "GET", "/debug")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/html")
+    root = ET.fromstring(data.decode("utf-8"))
+    assert root.tag == "{http://www.w3.org/1999/xhtml}html"
+    ids = {el.get("id") for el in root.iter() if el.get("id")}
+    assert {
+        "service-stats", "health-levels", "health-krylov", "watchdog",
+        "recent-requests", "profiler", "profiler-tracks", "tracer",
+    } <= ids
+    ns = {"x": "http://www.w3.org/1999/xhtml"}
+    (levels,) = [el for el in root.iter() if el.get("id") == "health-levels"]
+    assert levels.tag == "{http://www.w3.org/1999/xhtml}table"
+    assert levels.findall("./x:tbody/x:tr", ns)  # non-empty health table
+    (recent,) = [el for el in root.iter() if el.get("id") == "recent-requests"]
+    assert recent.findall("./x:tbody/x:tr", ns)
+
+
+def test_debug_profile_export_routes(server):
+    status, headers, data = _request_full(
+        server, "GET", "/debug/profile?format=speedscope"
+    )
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/json")
+    doc = json.loads(data)
+    assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+    assert "profiles" in doc and "frames" in doc["shared"]
+
+    status, headers, data = _request_full(server, "GET", "/debug/profile")
+    assert status == 200  # speedscope is the default format
+    assert headers["Content-Type"].startswith("application/json")
+
+    status, headers, data = _request_full(
+        server, "GET", "/debug/profile?format=folded"
+    )
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+
+    status, payload = _request(server, "GET", "/debug/profile?format=bogus")
+    assert status == 400 and payload["field"] == "format"
